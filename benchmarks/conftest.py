@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper on
+the synthetic stand-ins (see DESIGN.md §5 for the index). Session-
+scoped fixtures share built indices across modules so the suite's
+wall-time goes into the measured operations, not setup.
+
+Dataset scope: cheap experiments (statistics, sizes) run on all twelve
+stand-ins; timing-heavy ones use a representative subset covering the
+paper's regimes — small (douban), clustered (dblp), hub-dominated
+(youtube, twitter, clueweb09) and even-degree (friendster). Set
+``REPRO_BENCH_FULL=1`` to run everything on all twelve.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import BiBFS, QbSIndex
+from repro.workloads import dataset_names, load_dataset, sample_pairs
+
+#: Paper default |R| (§6.1).
+NUM_LANDMARKS = 20
+
+#: Representative subset for timing-heavy experiments.
+TIMED_DATASETS = ("douban", "dblp", "youtube", "twitter", "friendster",
+                  "clueweb09")
+
+#: Query workload size per dataset for benchmarks.
+BENCH_PAIRS = 120
+
+
+def timed_datasets():
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return tuple(dataset_names())
+    return TIMED_DATASETS
+
+
+def all_datasets():
+    return tuple(dataset_names())
+
+
+@pytest.fixture(scope="session")
+def graphs():
+    """name -> Graph for the timed subset."""
+    return {name: load_dataset(name) for name in timed_datasets()}
+
+
+@pytest.fixture(scope="session")
+def indices(graphs):
+    """name -> built QbS index (|R| = 20) for the timed subset."""
+    return {name: QbSIndex.build(graph, num_landmarks=NUM_LANDMARKS)
+            for name, graph in graphs.items()}
+
+
+@pytest.fixture(scope="session")
+def bibfs(graphs):
+    return {name: BiBFS(graph) for name, graph in graphs.items()}
+
+
+@pytest.fixture(scope="session")
+def workloads(graphs):
+    """name -> seeded query pairs."""
+    return {name: sample_pairs(graph, BENCH_PAIRS, seed=11)
+            for name, graph in graphs.items()}

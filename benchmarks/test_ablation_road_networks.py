@@ -1,0 +1,74 @@
+"""Road-network probe — the paper's §8 future work.
+
+Complex networks have small diameters and hubs; road networks have
+neither. The paper defers them to future work because degree-based
+landmarks stop being effective. This bench quantifies that boundary on
+a grid (road-like) graph: QbS stays exact but its advantage over
+Bi-BFS shrinks or inverts, and pair coverage collapses — evidence for
+why §8 proposes different landmark selection there.
+"""
+
+import time
+
+import pytest
+
+from repro import BiBFS, QbSIndex, spg_oracle
+from repro.analysis import pair_coverage
+from repro.graph import grid_2d
+from repro.workloads import sample_pairs
+
+GRID = grid_2d(70, 70)  # 4,900 vertices, diameter 138
+
+
+@pytest.fixture(scope="module")
+def grid_index():
+    return QbSIndex.build(GRID, num_landmarks=20)
+
+
+@pytest.fixture(scope="module")
+def grid_pairs():
+    return sample_pairs(GRID, 60, seed=11)
+
+
+def test_grid_queries_remain_exact(grid_index, grid_pairs):
+    for u, v in grid_pairs[:15]:
+        assert grid_index.query(u, v) == spg_oracle(GRID, u, v)
+
+
+def test_grid_coverage_collapses(grid_index, grid_pairs):
+    """Degree landmarks are meaningless on a 4-regular lattice: almost
+    no pair routes through them."""
+    report = pair_coverage(grid_index, grid_pairs)
+    assert report.covered_ratio < 0.5
+
+
+def test_far_apart_strategy_helps_on_grids(grid_pairs):
+    """The §8 direction: spreading landmarks beats degree ranking when
+    there are no hubs."""
+    degree = QbSIndex.build(GRID, num_landmarks=20, strategy="degree")
+    spread = QbSIndex.build(GRID, num_landmarks=20, strategy="far_apart")
+    degree_cov = pair_coverage(degree, grid_pairs).covered_ratio
+    spread_cov = pair_coverage(spread, grid_pairs).covered_ratio
+    assert spread_cov >= degree_cov
+
+
+def test_grid_speedup_is_modest(benchmark, grid_index, grid_pairs):
+    """QbS's Bi-BFS advantage shrinks without hubs to remove; we only
+    assert it does not catastrophically regress."""
+    bibfs = BiBFS(GRID)
+
+    def qbs_workload():
+        for u, v in grid_pairs:
+            grid_index.query(u, v)
+
+    benchmark.pedantic(qbs_workload, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    for u, v in grid_pairs:
+        grid_index.query(u, v)
+    qbs_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for u, v in grid_pairs:
+        bibfs.query(u, v)
+    bibfs_time = time.perf_counter() - start
+    assert qbs_time < 4.0 * bibfs_time

@@ -1,0 +1,153 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations, one per §6.5 gain source / §6.1 design decision:
+
+* sketch guidance on/off (Eq. 4 budgets) — gain source (2);
+* Δ precomputation on/off — gain source (3);
+* landmark selection strategy (degree vs random) — §6.1 rationale.
+"""
+
+import time
+
+import pytest
+
+from repro import QbSIndex, spg_oracle
+from repro.analysis import pair_coverage
+from repro.workloads import load_dataset, sample_pairs
+
+
+def mean_seconds(fn, pairs):
+    start = time.perf_counter()
+    for u, v in pairs:
+        fn(u, v)
+    return (time.perf_counter() - start) / len(pairs)
+
+
+class TestGuidanceAblation:
+    def test_guidance_does_not_change_answers(self, indices, workloads):
+        index = indices["youtube"]
+        for u, v in workloads["youtube"][:40]:
+            guided, _ = index.query_with_stats(u, v, use_budgets=True)
+            unguided, _ = index.query_with_stats(u, v, use_budgets=False)
+            assert guided == unguided
+
+    def test_guidance_benchmark(self, benchmark, indices, workloads):
+        index = indices["twitter"]
+        pairs = workloads["twitter"][:40]
+
+        def guided():
+            for u, v in pairs:
+                index.query_with_stats(u, v, use_budgets=True)
+
+        benchmark.pedantic(guided, rounds=2, iterations=1)
+
+    def test_guidance_comparable_traversals(self, indices, workloads):
+        """Budgets must never blow up traversal counts; on most
+        workloads they shift work to the cheaper side."""
+        index = indices["twitter"]
+        pairs = workloads["twitter"][:60]
+        with_budgets = without_budgets = 0
+        for u, v in pairs:
+            _, stats = index.query_with_stats(u, v, use_budgets=True)
+            with_budgets += stats.edges_traversed
+            _, stats = index.query_with_stats(u, v, use_budgets=False)
+            without_budgets += stats.edges_traversed
+        assert with_budgets < 1.6 * without_budgets
+
+
+class TestDeltaAblation:
+    def test_lazy_delta_same_answers(self):
+        graph = load_dataset("douban")
+        eager = QbSIndex.build(graph, num_landmarks=20)
+        lazy = QbSIndex.build(graph, num_landmarks=20,
+                              precompute_delta=False)
+        for u, v in sample_pairs(graph, 40, seed=11):
+            assert eager.query(u, v) == lazy.query(u, v)
+
+    def test_delta_precompute_benchmark(self, benchmark):
+        graph = load_dataset("twitter")
+        pairs = sample_pairs(graph, 40, seed=11)
+        eager = QbSIndex.build(graph, num_landmarks=20)
+
+        def workload():
+            for u, v in pairs:
+                eager.query(u, v)
+
+        benchmark.pedantic(workload, rounds=2, iterations=1)
+
+    def test_precompute_never_loses(self):
+        """Gain source (3): with Δ in memory the landmark segments are
+        free at query time. On our stand-ins the segments are short,
+        so the measurable effect is small — the assertion is that
+        precomputation never materially loses (the paper's large
+        inter-hub SPGs are where it wins big)."""
+        graph = load_dataset("twitter")
+        pairs = sample_pairs(graph, 80, seed=11)
+        eager = QbSIndex.build(graph, num_landmarks=20)
+        lazy = QbSIndex.build(graph, num_landmarks=20,
+                              precompute_delta=False)
+        mean_seconds(eager.query, pairs)   # warm both paths
+        mean_seconds(lazy.query, pairs)
+        eager_time = mean_seconds(eager.query, pairs)
+        lazy_time = mean_seconds(lazy.query, pairs)
+        assert eager_time < 1.5 * lazy_time
+
+
+class TestLandmarkStrategyAblation:
+    def test_degree_beats_random_on_coverage(self):
+        """§6.1's rationale for degree-based selection: hub landmarks
+        cover far more query pairs than random ones."""
+        graph = load_dataset("youtube")
+        pairs = sample_pairs(graph, 100, seed=11)
+        degree = QbSIndex.build(graph, num_landmarks=20,
+                                strategy="degree")
+        random_lm = QbSIndex.build(graph, num_landmarks=20,
+                                   strategy="random", seed=3)
+        degree_cov = pair_coverage(degree, pairs).covered_ratio
+        random_cov = pair_coverage(random_lm, pairs).covered_ratio
+        assert degree_cov > random_cov + 0.1
+
+    def test_strategies_all_exact(self):
+        graph = load_dataset("douban")
+        pairs = sample_pairs(graph, 15, seed=13)
+        for strategy in ("degree", "random", "degree_weighted",
+                         "coverage", "far_apart"):
+            index = QbSIndex.build(graph, num_landmarks=10,
+                                   strategy=strategy, seed=5)
+            for u, v in pairs:
+                assert index.query(u, v) == spg_oracle(graph, u, v), \
+                    strategy
+
+    def test_strategy_benchmark(self, benchmark):
+        graph = load_dataset("douban")
+        benchmark.pedantic(
+            QbSIndex.build, args=(graph,),
+            kwargs={"num_landmarks": 20, "strategy": "coverage"},
+            rounds=2, iterations=1,
+        )
+
+
+class TestDistanceFastPath:
+    """The distance-only query path skips reverse/recover entirely."""
+
+    def test_fastpath_agrees_with_full_query(self, indices, workloads):
+        index = indices["youtube"]
+        for u, v in workloads["youtube"][:40]:
+            assert index.distance(u, v) == index.query(u, v).distance
+
+    def test_fastpath_benchmark(self, benchmark, indices, workloads):
+        index = indices["twitter"]
+        pairs = workloads["twitter"][:60]
+
+        def workload():
+            for u, v in pairs:
+                index.distance(u, v)
+
+        benchmark.pedantic(workload, rounds=2, iterations=1)
+
+    def test_fastpath_not_slower_than_full(self, indices, workloads):
+        index = indices["twitter"]
+        pairs = workloads["twitter"]
+        fast = mean_seconds(index.distance, pairs)
+        full = mean_seconds(index.query, pairs)
+        assert fast < 1.2 * full

@@ -1,0 +1,61 @@
+"""Figure 10 — construction time vs number of landmarks.
+
+The paper's key scalability observation (§6.4.1): construction time is
+(almost) linear in |R|, because the labelling is one BFS per landmark.
+"""
+
+import pytest
+
+from repro import QbSIndex
+from repro._util import Stopwatch
+from repro.workloads import load_dataset
+
+SWEEP = (5, 10, 20, 40, 80)
+
+
+def construction_seconds(graph, num_landmarks, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        with Stopwatch() as sw:
+            QbSIndex.build(graph, num_landmarks=num_landmarks,
+                           precompute_delta=False)
+        best = min(best, sw.elapsed)
+    return best
+
+
+@pytest.mark.parametrize("num_landmarks", SWEEP)
+def test_fig10_point_douban(benchmark, num_landmarks):
+    graph = load_dataset("douban")
+    index = benchmark.pedantic(
+        QbSIndex.build, args=(graph,),
+        kwargs={"num_landmarks": num_landmarks},
+        rounds=2, iterations=1,
+    )
+    assert len(index.landmarks) == num_landmarks
+
+
+@pytest.mark.parametrize("name", ("twitter", "clueweb09"))
+def test_fig10_point_large(benchmark, name):
+    graph = load_dataset(name)
+    benchmark.pedantic(
+        QbSIndex.build, args=(graph,), kwargs={"num_landmarks": 40},
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig10_roughly_linear_growth():
+    """Time at |R|=80 should be near 8x the |R|=10 time — allow a wide
+    noise band but reject quadratic blow-up (would be ~64x) and
+    constant time (would be ~1x)."""
+    graph = load_dataset("clueweb09")
+    t10 = construction_seconds(graph, 10)
+    t80 = construction_seconds(graph, 80)
+    ratio = t80 / t10
+    assert 2.0 < ratio < 32.0, f"ratio {ratio:.1f}"
+
+
+def test_fig10_monotone_in_landmarks():
+    graph = load_dataset("twitter")
+    t5 = construction_seconds(graph, 5)
+    t80 = construction_seconds(graph, 80)
+    assert t80 > t5

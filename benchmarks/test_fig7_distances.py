@@ -1,0 +1,46 @@
+"""Figure 7 — distance distribution of random vertex pairs.
+
+The paper's panels show pair distances concentrating in 2-9 on every
+dataset (the small-world property the 8-bit labels rely on). We
+regenerate the histogram per stand-in and benchmark its computation.
+"""
+
+import pytest
+
+from repro.analysis import distance_distribution
+from repro.workloads import load_dataset, sample_pairs
+
+from conftest import timed_datasets
+
+
+@pytest.mark.parametrize("name", timed_datasets())
+def test_fig7_histogram(benchmark, name):
+    graph = load_dataset(name)
+    pairs = sample_pairs(graph, 150, seed=11)
+    hist = benchmark.pedantic(distance_distribution, args=(graph, pairs),
+                              rounds=2, iterations=1)
+    # The paper's observation: distances mostly fall in 2-9.
+    assert 2 <= hist.mode() <= 9, name
+    in_range = sum(hist.fraction(d) for d in range(2, 10))
+    assert in_range > 0.6, name
+    # Connected stand-ins: (almost) nothing disconnected.
+    assert hist.disconnected == 0, name
+
+
+def test_fig7_mean_tracks_table1():
+    """The histogram mean must agree with Table 1's avg-dist column
+    (same quantity, different estimator)."""
+    from repro.analysis import dataset_statistics
+
+    graph = load_dataset("douban")
+    pairs = sample_pairs(graph, 400, seed=13)
+    hist = distance_distribution(graph, pairs)
+    stats = dataset_statistics(graph, seed=7)
+    assert abs(hist.mean() - stats["avg_distance"]) < 0.6
+
+
+def test_fig7_fractions_normalized():
+    graph = load_dataset("dblp")
+    pairs = sample_pairs(graph, 200, seed=17)
+    hist = distance_distribution(graph, pairs)
+    assert sum(hist.fractions().values()) == pytest.approx(1.0, abs=1e-9)

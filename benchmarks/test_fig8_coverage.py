@@ -1,0 +1,69 @@
+"""Figure 8 — pair coverage ratios under 20-100 landmarks.
+
+Regenerates the light (case i: all shortest paths through landmarks)
+and grey (case ii: some but not all) bars. Assertions pin the paper's
+three observations in §6.3: coverage grows with the landmark count,
+hub-dominated graphs have the highest ratios, and Friendster-like
+even-degree graphs have tiny case-(i) shares.
+"""
+
+import pytest
+
+from repro import QbSIndex
+from repro.analysis import pair_coverage
+from repro.workloads import load_dataset, sample_pairs
+
+SWEEP = (20, 60, 100)
+COVERAGE_PAIRS = 100
+
+
+def coverage_at(name, num_landmarks, pairs=None):
+    graph = load_dataset(name)
+    if pairs is None:
+        pairs = sample_pairs(graph, COVERAGE_PAIRS, seed=11)
+    index = QbSIndex.build(graph, num_landmarks=num_landmarks)
+    return pair_coverage(index, pairs)
+
+
+@pytest.mark.parametrize("name", ("youtube", "twitter", "friendster"))
+def test_fig8_series(benchmark, name):
+    graph = load_dataset(name)
+    pairs = sample_pairs(graph, COVERAGE_PAIRS, seed=11)
+    index = QbSIndex.build(graph, num_landmarks=20)
+    report = benchmark.pedantic(pair_coverage, args=(index, pairs),
+                                rounds=1, iterations=1)
+    assert 0.0 <= report.covered_ratio <= 1.0
+
+
+def test_fig8_coverage_grows_with_landmarks():
+    """Observation (1): ratios go up as |R| increases."""
+    graph = load_dataset("youtube")
+    pairs = sample_pairs(graph, COVERAGE_PAIRS, seed=11)
+    ratios = [coverage_at("youtube", k, pairs).covered_ratio
+              for k in SWEEP]
+    assert ratios[0] <= ratios[-1] + 0.02
+    assert ratios[-1] > ratios[0] - 0.02
+
+
+def test_fig8_hub_graphs_covered_more():
+    """Observation (2): hub-dominated datasets (YouTube, WikiTalk,
+    Twitter, ClueWeb09 in the paper) have higher coverage than
+    even-degree Friendster."""
+    hub = coverage_at("twitter", 20).covered_ratio
+    even = coverage_at("friendster", 20).covered_ratio
+    assert hub > even + 0.2
+
+
+def test_fig8_friendster_case_i_tiny():
+    """Observation (3): with evenly distributed degrees, landmarks
+    hardly ever capture *all* shortest paths of a pair."""
+    report = coverage_at("friendster", 20)
+    assert report.full_ratio < 0.2
+    assert report.full_ratio <= report.covered_ratio
+
+
+def test_fig8_hub_graph_case_i_dominates():
+    """On graphs sparsified hard by hub removal, case (i) is the
+    larger share (paper: YouTube, WikiTalk, Baidu, ClueWeb09)."""
+    report = coverage_at("wikitalk", 20)
+    assert report.full_ratio > report.partial_ratio

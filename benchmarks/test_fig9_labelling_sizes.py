@@ -1,0 +1,66 @@
+"""Figure 9 — labelling sizes under 20-100 landmarks.
+
+The paper reports size(L) linear in |R|, Δ growing sub-quadratically,
+and meta-graphs staying below 0.01 MB even at |R| = 100.
+"""
+
+import pytest
+
+from repro import QbSIndex
+from repro.analysis import qbs_size_report
+from repro.workloads import load_dataset
+
+SWEEP = (20, 40, 60, 80, 100)
+
+
+def reports_for(name):
+    graph = load_dataset(name)
+    return {
+        k: qbs_size_report(QbSIndex.build(graph, num_landmarks=k))
+        for k in SWEEP
+    }
+
+
+@pytest.mark.parametrize("name", ("douban", "twitter"))
+def test_fig9_sweep(benchmark, name):
+    graph = load_dataset(name)
+
+    def build_and_measure():
+        index = QbSIndex.build(graph, num_landmarks=60)
+        return qbs_size_report(index)
+
+    report = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    assert report.label_bytes == 60 * graph.num_vertices
+
+
+def test_fig9_label_size_linear_in_landmarks():
+    """size(L) = |R| bytes/vertex exactly — the linear series."""
+    reports = reports_for("douban")
+    base = reports[20].label_bytes
+    for k in SWEEP:
+        assert reports[k].label_bytes == base * k // 20
+
+
+def test_fig9_meta_graph_negligible():
+    """Paper: the meta-graph is negligible even at |R| = 100 (at most
+    |R|^2 weighted edges). On our dense stand-in the meta-graph is
+    near-complete, so the bound is the |R|^2 cap plus smallness
+    relative to size(L)."""
+    reports = reports_for("twitter")
+    assert reports[100].meta_bytes <= 100 * 100 * 9 / 2
+    assert reports[100].meta_bytes < 0.05 * reports[100].label_bytes
+
+
+def test_fig9_delta_grows_subquadratically():
+    """Δ stores paths between |R|^2 pairs but §6.4.2 observes it does
+    not grow quadratically (low-degree landmarks join shorter SPGs)."""
+    reports = reports_for("twitter")
+    low, high = reports[20].delta_bytes, reports[100].delta_bytes
+    assert high >= low
+    assert high < 25 * max(low, 1)
+
+
+def test_fig9_delta_small_relative_to_labels():
+    """§6.2.2: size(Δ) stays small next to size(L) on sparse graphs."""
+    reports = reports_for("douban")
+    assert reports[100].delta_bytes < reports[100].label_bytes

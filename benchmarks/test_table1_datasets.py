@@ -1,0 +1,55 @@
+"""Table 1 — dataset statistics.
+
+Regenerates the |V| / |E| / degree / distance / size columns for all
+twelve stand-ins and benchmarks the statistics computation itself.
+The structural assertions pin the properties each stand-in was built
+to mirror (hubs, even degrees, relative sizes).
+"""
+
+import pytest
+
+from repro.analysis import dataset_statistics
+from repro.workloads import DATASETS, load_dataset
+
+from conftest import all_datasets
+
+
+@pytest.mark.parametrize("name", all_datasets())
+def test_table1_row(benchmark, name):
+    graph = load_dataset(name)
+    stats = benchmark(dataset_statistics, graph, seed=7)
+    # Table 1 sanity: connected stand-ins with small-world distances.
+    assert stats["num_vertices"] > 500
+    assert stats["num_edges"] > stats["num_vertices"]
+    assert 2.0 < stats["avg_distance"] < 12.0
+    assert stats["size_bytes"] == 16 * stats["num_edges"]
+
+
+def test_table1_shape_hub_datasets():
+    """WikiTalk/Twitter/ClueWeb09 rows: max degree >> average degree,
+    as in the paper (1e5-6e6 vs single digits)."""
+    for name in ("wikitalk", "twitter", "clueweb09"):
+        stats = dataset_statistics(load_dataset(name), seed=7)
+        assert stats["max_degree"] > 20 * stats["avg_degree"], name
+
+
+def test_table1_shape_even_datasets():
+    """Orkut/Friendster rows: evenly distributed degrees."""
+    for name in ("orkut", "friendster"):
+        stats = dataset_statistics(load_dataset(name), seed=7)
+        assert stats["max_degree"] < 4 * stats["avg_degree"], name
+
+
+def test_table1_size_ordering():
+    """ClueWeb09 is the largest dataset, Douban the smallest — the
+    ordering the scalability story is told against."""
+    sizes = {name: load_dataset(name).num_vertices
+             for name in all_datasets()}
+    assert max(sizes, key=sizes.get) == "clueweb09"
+    assert min(sizes, key=sizes.get) == "douban"
+
+
+def test_table1_all_types_present():
+    types = {spec.network_type for spec in DATASETS.values()}
+    assert {"social", "web", "co-authorship",
+            "communication", "computer"} <= types

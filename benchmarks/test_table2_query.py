@@ -1,0 +1,83 @@
+"""Table 2 (right) — average query time per method.
+
+Benchmarks the full query workload per dataset for QbS and Bi-BFS, and
+for PPL/ParentPPL on the smallest stand-in (the paper's PPL columns
+are populated only for its smallest datasets too). Assertions pin the
+who-wins ordering the paper reports: QbS beats Bi-BFS wherever hubs
+exist, most dramatically on the hub-dominated graphs.
+"""
+
+import pytest
+
+from repro.baselines import ParentPPLIndex, PPLIndex
+from repro.workloads import load_dataset, sample_pairs
+
+from conftest import timed_datasets
+
+
+def run_workload(query, pairs):
+    for u, v in pairs:
+        query(u, v)
+
+
+@pytest.mark.parametrize("name", timed_datasets())
+def test_qbs_query(benchmark, name, indices, workloads):
+    index = indices[name]
+    pairs = workloads[name]
+    benchmark.pedantic(run_workload, args=(index.query, pairs),
+                       rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("name", timed_datasets())
+def test_bibfs_query(benchmark, name, bibfs, workloads):
+    baseline = bibfs[name]
+    pairs = workloads[name]
+    benchmark.pedantic(run_workload, args=(baseline.query, pairs),
+                       rounds=2, iterations=1)
+
+
+def test_ppl_query_small(benchmark, workloads):
+    graph = load_dataset("douban")
+    index = PPLIndex.build(graph)
+    pairs = workloads["douban"][:60]
+    benchmark.pedantic(run_workload, args=(index.query, pairs),
+                       rounds=1, iterations=1)
+
+
+def test_parent_ppl_query_small(benchmark, workloads):
+    graph = load_dataset("douban")
+    index = ParentPPLIndex.build(graph)
+    pairs = workloads["douban"][:60]
+    benchmark.pedantic(run_workload, args=(index.query, pairs),
+                       rounds=1, iterations=1)
+
+
+def test_qbs_beats_bibfs_on_hub_graphs(indices, bibfs, workloads):
+    """The Table 2 ranking on the hub-dominated stand-ins, where the
+    paper's 10-300x speedups concentrate."""
+    import time
+
+    for name in ("twitter", "clueweb09"):
+        pairs = workloads[name]
+        start = time.perf_counter()
+        run_workload(indices[name].query, pairs)
+        qbs_time = time.perf_counter() - start
+        start = time.perf_counter()
+        run_workload(bibfs[name].query, pairs)
+        bibfs_time = time.perf_counter() - start
+        assert qbs_time < bibfs_time, (
+            f"{name}: QbS {qbs_time:.3f}s vs Bi-BFS {bibfs_time:.3f}s"
+        )
+
+
+def test_all_methods_agree_on_answers(indices, bibfs, workloads):
+    """Timing comparisons are only meaningful if everyone returns the
+    same exact SPGs."""
+    graph = load_dataset("douban")
+    ppl = PPLIndex.build(graph)
+    index = indices["douban"]
+    baseline = bibfs["douban"]
+    for u, v in workloads["douban"][:40]:
+        expected = baseline.query(u, v)
+        assert index.query(u, v) == expected
+        assert ppl.query(u, v) == expected

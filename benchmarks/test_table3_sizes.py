@@ -1,0 +1,77 @@
+"""Table 3 — labelling sizes.
+
+Regenerates size(L) / size(Δ) for QbS on all twelve stand-ins and the
+PPL / ParentPPL label sizes on the small ones. Assertions pin the
+paper's findings: QbS labels are dramatically smaller than PPL's,
+ParentPPL is roughly double PPL, meta-graphs are negligible, and
+size(Δ) is small relative to size(L) except on the dense hub graphs.
+"""
+
+import pytest
+
+from repro import QbSIndex
+from repro.analysis import qbs_size_report
+from repro.baselines import ParentPPLIndex, PPLIndex
+from repro.workloads import load_dataset, small_dataset_names
+
+from conftest import NUM_LANDMARKS, all_datasets
+
+
+@pytest.mark.parametrize("name", all_datasets())
+def test_qbs_sizes(benchmark, name):
+    graph = load_dataset(name)
+    index = QbSIndex.build(graph, num_landmarks=NUM_LANDMARKS)
+    report = benchmark(qbs_size_report, index)
+    # size(L) is exactly |R| bytes per vertex (the paper's 8-bit model).
+    assert report.label_bytes == NUM_LANDMARKS * graph.num_vertices
+    # Meta-graph storage is negligible (paper: < 0.01MB even at 100).
+    assert report.meta_bytes < 10_000
+
+
+def test_qbs_labels_smaller_than_graph():
+    """§6.2.2: QbS labelling sizes are generally smaller than the
+    original graphs."""
+    smaller = 0
+    names = all_datasets()
+    for name in names:
+        graph = load_dataset(name)
+        index = QbSIndex.build(graph, num_landmarks=NUM_LANDMARKS)
+        if qbs_size_report(index).label_bytes < graph.paper_size_bytes():
+            smaller += 1
+    assert smaller >= len(names) - 2
+
+
+def test_ppl_labels_hundreds_of_times_larger():
+    """Table 3: QbS labels are orders of magnitude smaller than PPL's."""
+    graph = load_dataset("douban")
+    qbs = QbSIndex.build(graph, num_landmarks=NUM_LANDMARKS)
+    ppl = PPLIndex.build(graph)
+    ratio = ppl.paper_size_bytes() / qbs_size_report(qbs).label_bytes
+    assert ratio > 10
+
+
+def test_parent_ppl_roughly_double_ppl():
+    graph = load_dataset("douban")
+    ppl = PPLIndex.build(graph)
+    parent = ParentPPLIndex.build(graph)
+    ratio = parent.paper_size_bytes() / ppl.paper_size_bytes()
+    assert 1.3 < ratio < 4.0
+
+
+def test_delta_largest_on_dense_hub_graph():
+    """§6.2.2: dense graphs (Twitter) carry relatively larger Δ."""
+    dense = QbSIndex.build(load_dataset("twitter"),
+                           num_landmarks=NUM_LANDMARKS)
+    sparse = QbSIndex.build(load_dataset("douban"),
+                            num_landmarks=NUM_LANDMARKS)
+    dense_report = qbs_size_report(dense)
+    sparse_report = qbs_size_report(sparse)
+    assert dense_report.delta_bytes > sparse_report.delta_bytes
+
+
+@pytest.mark.parametrize("name", small_dataset_names())
+def test_ppl_sizes_small_datasets(benchmark, name):
+    graph = load_dataset(name)
+    index = PPLIndex.build(graph)
+    size = benchmark(index.paper_size_bytes)
+    assert size > 0

@@ -1,0 +1,99 @@
+"""Shortest Path Rerouting over the SPG.
+
+Second motivating application from the paper's introduction: given two
+shortest paths between the same endpoints, find a *rerouting sequence*
+— a chain of shortest paths where consecutive paths differ in exactly
+one vertex (used e.g. to reconfigure routes in a network with minimal
+per-step disruption).
+
+The shortest path graph is exactly the solution-space object this
+problem needs: every shortest path is a source-to-target chain in the
+SPG DAG, and single-vertex swaps are local moves inside it. This
+example builds the SPG with QbS, then BFSes over the "reconfiguration
+graph" whose nodes are shortest paths.
+
+Run with::
+
+    python examples/path_rerouting.py
+"""
+
+from collections import deque
+
+from repro import QbSIndex
+from repro.graph import watts_strogatz
+
+
+def rerouting_sequence(spg, start_path, goal_path):
+    """BFS through single-vertex path swaps (the Kamiński et al. move).
+
+    Returns the list of intermediate shortest paths, or ``None`` when
+    the two paths are not connected in the reconfiguration graph.
+    """
+    level = spg.levels()
+    adjacency = {}
+    for a, b in spg.edges:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    def single_swaps(path):
+        """All shortest paths differing from ``path`` in one vertex."""
+        for i in range(1, len(path) - 1):
+            before, here, after = path[i - 1], path[i], path[i + 1]
+            for candidate in adjacency.get(before, ()):
+                if candidate == here:
+                    continue
+                if (level[candidate] == level[here]
+                        and candidate in adjacency.get(after, set())):
+                    yield path[:i] + (candidate,) + path[i + 1:]
+
+    start, goal = tuple(start_path), tuple(goal_path)
+    queue = deque([(start, [start])])
+    seen = {start}
+    while queue:
+        current, trail = queue.popleft()
+        if current == goal:
+            return trail
+        for nxt in single_swaps(current):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append((nxt, trail + [nxt]))
+    return None
+
+
+def main() -> None:
+    graph = watts_strogatz(600, k=6, p=0.15, seed=21)
+    index = QbSIndex.build(graph, num_landmarks=15)
+
+    # Scan for pairs whose solution space is interesting (>= 2 paths).
+    interesting = []
+    for u in range(0, graph.num_vertices, 7):
+        v = (u * 13 + 311) % graph.num_vertices
+        if u == v:
+            continue
+        spg = index.query(u, v)
+        if spg.distance and spg.count_paths() >= 2:
+            interesting.append((u, v))
+        if len(interesting) == 3:
+            break
+
+    for u, v in interesting:
+        spg = index.query(u, v)
+        paths = list(spg.iter_paths(limit=16))
+        start_path, goal_path = paths[0], paths[-1]
+        print(f"pair ({u}, {v}): {spg.count_paths()} shortest paths "
+              f"of length {spg.distance}")
+        print(f"  from: {start_path}")
+        print(f"  to  : {goal_path}")
+        sequence = rerouting_sequence(spg, start_path, goal_path)
+        if sequence is None:
+            print("  no single-swap rerouting sequence exists "
+                  "(solution space is disconnected)")
+        else:
+            print(f"  rerouting sequence of {len(sequence) - 1} swaps:")
+            for step, path in enumerate(sequence):
+                print(f"    step {step}: {path}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: build a QbS index and answer shortest-path-graph queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the full public API on a small social-style network: graph
+construction, index building (sequential and parallel), queries,
+result inspection, and a cross-check against the online baselines.
+"""
+
+from repro import BiBFS, Graph, QbSIndex, spg_oracle
+from repro.graph import barabasi_albert
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Build a graph. Any iterable of (u, v) pairs works; here we use
+    #    the paper's Figure 4 example graph (1-indexed in the paper,
+    #    0-indexed here).
+    # ------------------------------------------------------------------
+    figure4_edges = [
+        (0, 3), (0, 4), (0, 5), (0, 13), (0, 1),
+        (1, 6), (1, 7), (1, 8), (1, 9), (1, 10),
+        (2, 3), (2, 11), (2, 12), (2, 13),
+        (3, 12), (4, 5), (5, 13), (6, 7),
+        (8, 10), (9, 11), (10, 11),
+    ]
+    graph = Graph.from_edges(figure4_edges)
+    print(f"graph: {graph}")
+
+    # ------------------------------------------------------------------
+    # 2. Build the index. num_landmarks=20 is the paper's default; this
+    #    toy graph gets 3. Landmarks default to the highest-degree
+    #    vertices (the paper's strategy).
+    # ------------------------------------------------------------------
+    index = QbSIndex.build(graph, num_landmarks=3)
+    print(f"landmarks: {sorted(int(r) for r in index.landmarks)}")
+    print(f"meta-graph edges: {index.meta_graph.edges}")
+    print(f"construction took {index.report.total_seconds * 1e3:.2f} ms")
+
+    # ------------------------------------------------------------------
+    # 3. Query. The result is a ShortestPathGraph: exactly the union of
+    #    all shortest paths between the endpoints.
+    # ------------------------------------------------------------------
+    u, v = 6, 12
+    spg = index.query(u, v)
+    print(f"\nSPG({u}, {v}):")
+    print(f"  distance      = {spg.distance}")
+    print(f"  edges         = {sorted(spg.edges)}")
+    print(f"  #paths        = {spg.count_paths()}")
+    print(f"  sample paths  = {list(spg.iter_paths(limit=4))}")
+    print(f"  critical edges= {sorted(spg.critical_edges())}")
+
+    # ------------------------------------------------------------------
+    # 4. Cross-check against the online baselines — always identical.
+    # ------------------------------------------------------------------
+    assert spg == spg_oracle(graph, u, v)
+    assert spg == BiBFS(graph).query(u, v)
+    print("\ncross-check vs BFS oracle and Bi-BFS: OK")
+
+    # ------------------------------------------------------------------
+    # 5. Scale up: a 3,000-vertex hub-dominated graph, parallel build.
+    # ------------------------------------------------------------------
+    big = barabasi_albert(3000, m=3, seed=42)
+    index = QbSIndex.build(big, num_landmarks=20, parallel=True)
+    report = index.report
+    print(f"\nbig graph: {big}")
+    print(f"parallel construction: {report.total_seconds * 1e3:.1f} ms "
+          f"(labelling {report.labelling_seconds * 1e3:.1f} ms)")
+    spg = index.query(100, 2500)
+    print(f"SPG(100, 2500): distance={spg.distance}, "
+          f"edges={spg.num_edges}, paths={spg.count_paths()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Query-by-Sketch (QbS): shortest path graph queries at scale.
+
+A faithful, laptop-scale reproduction of *Query-by-Sketch: Scaling
+Shortest Path Graph Queries on Very Large Networks* (SIGMOD 2021).
+
+Quickstart::
+
+    from repro import Graph, QbSIndex
+
+    graph = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
+    index = QbSIndex.build(graph, num_landmarks=2)
+    spg = index.query(0, 2)          # shortest path graph, exactly
+    spg.distance                     # 2
+    sorted(spg.edges)                # [(0, 1), (0, 3), (1, 2), (2, 3)]
+    spg.count_paths()                # 2
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the table/figure reproductions.
+"""
+
+from .baselines import BiBFS, NaiveLabelling, ParentPPLIndex, PPLIndex, \
+    spg_oracle
+from .core import (
+    QbSIndex,
+    SearchStats,
+    ShortestPathGraph,
+    Sketch,
+    bidirectional_spg,
+    select_landmarks,
+)
+from .errors import (
+    BudgetExceededError,
+    GraphFormatError,
+    GraphValidationError,
+    IndexBuildError,
+    QueryError,
+    ReproError,
+    VertexError,
+)
+from .graph import Graph, GraphBuilder, build_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "GraphBuilder",
+    "build_graph",
+    "QbSIndex",
+    "ShortestPathGraph",
+    "Sketch",
+    "SearchStats",
+    "select_landmarks",
+    "BiBFS",
+    "PPLIndex",
+    "ParentPPLIndex",
+    "NaiveLabelling",
+    "spg_oracle",
+    "bidirectional_spg",
+    "ReproError",
+    "GraphFormatError",
+    "GraphValidationError",
+    "VertexError",
+    "IndexBuildError",
+    "BudgetExceededError",
+    "QueryError",
+]

@@ -1,0 +1,130 @@
+"""Small internal utilities shared across the library.
+
+Nothing in this module is part of the public API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from .errors import BudgetExceededError
+
+#: Sentinel used in dense uint8 label matrices for "no label".
+NO_LABEL = 255
+
+#: Sentinel used in int32 depth arrays for "unvisited".
+UNREACHED = -1
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged, so state is shared with the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class Stopwatch:
+    """Context manager measuring wall-clock time in seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(10))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class TimeBudget:
+    """Cooperative deadline used to emulate the paper's DNF walls.
+
+    Long-running constructions (PPL, ParentPPL) call :meth:`check`
+    periodically; once the wall-clock budget is exhausted a
+    :class:`~repro.errors.BudgetExceededError` is raised, which the
+    harness records as a DNF entry.
+    """
+
+    seconds: float
+    label: str = "construction"
+    _deadline: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("budget must be positive")
+        self._deadline = time.perf_counter() + self.seconds
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceededError` if the deadline has passed."""
+        if time.perf_counter() > self._deadline:
+            raise BudgetExceededError(
+                f"{self.label} exceeded budget of {self.seconds:.1f}s",
+                kind="time",
+            )
+
+    @property
+    def remaining(self) -> float:
+        return self._deadline - time.perf_counter()
+
+
+def pairs_upper_triangle(n: int) -> Iterator[tuple]:
+    """Yield all unordered pairs ``(i, j)`` with ``i < j < n``."""
+    for i in range(n):
+        for j in range(i + 1, n):
+            yield i, j
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count the way the paper's tables do (KB/MB/GB)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration with paper-like precision."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.2f}s"
+
+
+def stable_unique(values: np.ndarray) -> np.ndarray:
+    """Deduplicate ``values`` preserving first-occurrence order."""
+    _, first = np.unique(values, return_index=True)
+    return values[np.sort(first)]
+
+
+def run_with_budget(fn: Callable, budget_seconds: float, label: str):
+    """Run ``fn(budget)`` under a :class:`TimeBudget`.
+
+    Returns ``(result, elapsed)`` or raises BudgetExceededError.
+    """
+    budget = TimeBudget(budget_seconds, label=label)
+    with Stopwatch() as sw:
+        result = fn(budget)
+    return result, sw.elapsed

@@ -1,0 +1,88 @@
+"""Distance-distribution analysis (Figure 7).
+
+The paper plots, per dataset, the fraction of 10,000 random vertex
+pairs at each distance — showing complex networks concentrate in the
+2-9 range, which is why uint8 labels and small sketches suffice.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .._util import UNREACHED
+from ..graph.csr import Graph
+from ..graph.traversal import bfs_distances
+
+__all__ = ["pair_distances", "distance_distribution", "DistanceHistogram"]
+
+
+class DistanceHistogram:
+    """Fractions of pairs per distance, plus disconnected count."""
+
+    def __init__(self, counts: Counter, disconnected: int,
+                 total: int) -> None:
+        self.counts = dict(sorted(counts.items()))
+        self.disconnected = disconnected
+        self.total = total
+
+    def fraction(self, distance: int) -> float:
+        """Fraction of sampled pairs at exactly ``distance``."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(distance, 0) / self.total
+
+    def fractions(self) -> Dict[int, float]:
+        """The full Figure 7 series: distance -> fraction of pairs."""
+        return {d: c / self.total for d, c in self.counts.items()}
+
+    def mean(self) -> float:
+        """Mean distance over connected pairs (Table 1's avg. dist)."""
+        connected = self.total - self.disconnected
+        if connected == 0:
+            return 0.0
+        return sum(d * c for d, c in self.counts.items()) / connected
+
+    def mode(self) -> Optional[int]:
+        """Most common distance (the Figure 7 peak)."""
+        if not self.counts:
+            return None
+        return max(self.counts, key=self.counts.get)
+
+    def max_distance(self) -> int:
+        return max(self.counts, default=0)
+
+
+def pair_distances(graph: Graph,
+                   pairs: Iterable[Tuple[int, int]]) -> List[Optional[int]]:
+    """Exact distances for the given pairs.
+
+    Groups pairs by source so each distinct source costs one BFS —
+    much cheaper than a BFS per pair on dense workloads.
+    """
+    by_source: Dict[int, List[Tuple[int, int]]] = {}
+    pair_list = list(pairs)
+    for idx, (u, v) in enumerate(pair_list):
+        by_source.setdefault(u, []).append((idx, v))
+    results: List[Optional[int]] = [None] * len(pair_list)
+    for source, wanted in by_source.items():
+        dist = bfs_distances(graph, source)
+        for idx, v in wanted:
+            d = int(dist[v])
+            results[idx] = None if d == UNREACHED else d
+    return results
+
+
+def distance_distribution(graph: Graph,
+                          pairs: Iterable[Tuple[int, int]]
+                          ) -> DistanceHistogram:
+    """Figure 7: histogram of pair distances for a sampled workload."""
+    distances = pair_distances(graph, pairs)
+    counts: Counter = Counter()
+    disconnected = 0
+    for d in distances:
+        if d is None:
+            disconnected += 1
+        else:
+            counts[d] += 1
+    return DistanceHistogram(counts, disconnected, len(distances))

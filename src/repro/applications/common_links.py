@@ -1,0 +1,84 @@
+"""Shortest Path Common Links and tie-strength profiling.
+
+The third application family of the paper's introduction: links common
+to all shortest paths between two vertices [Hansen et al. 1986; Labbé
+et al. 1995], plus the Figure 1 observation that path multiplicity
+distinguishes pairs at equal distance (a tie-strength signal on social
+networks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from ..core.spg import ShortestPathGraph
+
+__all__ = ["common_links", "common_vertices", "TieProfile", "tie_profile"]
+
+Edge = Tuple[int, int]
+
+
+def common_links(spg: ShortestPathGraph) -> Set[Edge]:
+    """Edges present on *every* shortest path (the common links)."""
+    return spg.critical_edges()
+
+
+def common_vertices(spg: ShortestPathGraph) -> Set[int]:
+    """Interior vertices present on every shortest path."""
+    from .interdiction import vertex_path_counts
+
+    if spg.distance in (None, 0):
+        return set()
+    total = spg.count_paths()
+    counts = vertex_path_counts(spg)
+    return {
+        x for x, through in counts.items()
+        if through == total and x not in (spg.source, spg.target)
+    }
+
+
+@dataclass(frozen=True)
+class TieProfile:
+    """Structural strength of the connection between two vertices."""
+
+    distance: int
+    num_paths: int
+    spg_edges: int
+    redundancy: float          # SPG edges per hop; 1.0 = single chain
+    has_bottleneck_edge: bool  # some edge carries every path
+    has_bottleneck_vertex: bool
+
+    @property
+    def is_fragile(self) -> bool:
+        """A single chain: any failure disconnects the shortest tie."""
+        return self.num_paths == 1
+
+    @property
+    def strength(self) -> float:
+        """A simple scalar: paths per hop, discounted by bottlenecks.
+
+        Monotone in path multiplicity (the Figure 1 intuition) and
+        halved when one element carries everything.
+        """
+        base = self.num_paths / max(self.distance, 1)
+        if self.has_bottleneck_edge or self.has_bottleneck_vertex:
+            base /= 2.0
+        return base
+
+
+def tie_profile(spg: ShortestPathGraph) -> TieProfile:
+    """Profile one pair's shortest-path structure."""
+    if spg.distance is None:
+        raise ValueError("disconnected pair has no tie profile")
+    if spg.distance == 0:
+        return TieProfile(0, 1, 0, 0.0, False, False)
+    num_paths = spg.count_paths()
+    return TieProfile(
+        distance=spg.distance,
+        num_paths=num_paths,
+        spg_edges=spg.num_edges,
+        redundancy=spg.num_edges / spg.distance,
+        has_bottleneck_edge=bool(common_links(spg)),
+        has_bottleneck_vertex=bool(common_vertices(spg)),
+    )

@@ -1,0 +1,121 @@
+"""Shortest Path Rerouting over SPGs.
+
+The reconfiguration problem from the paper's introduction [Kamiński,
+Medvedev & Milanič 2011; Bonsma 2013]: transform one shortest path
+into another through a sequence of shortest paths, each differing from
+the previous in exactly one vertex. The SPG is the natural arena — all
+candidate paths live inside it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.spg import ShortestPathGraph
+
+__all__ = ["single_swap_neighbors", "rerouting_sequence",
+           "reconfiguration_components", "is_shortest_path_of"]
+
+Path = Tuple[int, ...]
+
+
+def _structures(spg: ShortestPathGraph):
+    level = spg.levels()
+    adjacency: Dict[int, Set[int]] = {}
+    for a, b in spg.edges:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    return level, adjacency
+
+
+def is_shortest_path_of(spg: ShortestPathGraph, path: Sequence[int]
+                        ) -> bool:
+    """True iff ``path`` is one of the SPG's shortest paths."""
+    path = tuple(path)
+    if spg.distance is None:
+        return False
+    if spg.distance == 0:
+        return path == (spg.source,)
+    if len(path) != spg.distance + 1:
+        return False
+    if path[0] != spg.source or path[-1] != spg.target:
+        return False
+    edges = spg.edges
+    return all(
+        (min(a, b), max(a, b)) in edges for a, b in zip(path, path[1:])
+    )
+
+
+def single_swap_neighbors(spg: ShortestPathGraph,
+                          path: Sequence[int]) -> Iterator[Path]:
+    """Shortest paths differing from ``path`` in exactly one vertex."""
+    level, adjacency = _structures(spg)
+    path = tuple(path)
+    for i in range(1, len(path) - 1):
+        before, here, after = path[i - 1], path[i], path[i + 1]
+        for candidate in adjacency.get(before, ()):
+            if candidate == here:
+                continue
+            if (level.get(candidate) == level[here]
+                    and candidate in adjacency.get(after, set())):
+                yield path[:i] + (candidate,) + path[i + 1:]
+
+
+def rerouting_sequence(spg: ShortestPathGraph,
+                       start: Sequence[int],
+                       goal: Sequence[int]) -> Optional[List[Path]]:
+    """Shortest single-swap sequence from ``start`` to ``goal``.
+
+    Returns the path-of-paths (inclusive of both ends) or ``None``
+    when the two shortest paths live in different components of the
+    reconfiguration graph. BFS over path-space; exponentially many
+    paths are possible, so callers should bound their use to SPGs of
+    sane path counts (``spg.count_paths()``).
+    """
+    start, goal = tuple(start), tuple(goal)
+    for path in (start, goal):
+        if not is_shortest_path_of(spg, path):
+            raise ValueError(f"{path} is not a shortest path of the SPG")
+    queue = deque([(start, [start])])
+    seen: Set[Path] = {start}
+    while queue:
+        current, trail = queue.popleft()
+        if current == goal:
+            return trail
+        for neighbor in single_swap_neighbors(spg, current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append((neighbor, trail + [neighbor]))
+    return None
+
+
+def reconfiguration_components(spg: ShortestPathGraph,
+                               limit: int = 2000) -> List[List[Path]]:
+    """Connected components of the single-swap reconfiguration graph.
+
+    Enumerates at most ``limit`` shortest paths (raising if exceeded)
+    and groups them by single-swap connectivity. Useful for studying
+    the solution-space structure the rerouting literature cares about.
+    """
+    if spg.count_paths() > limit:
+        raise ValueError(
+            f"SPG has {spg.count_paths()} shortest paths; "
+            f"refusing to enumerate more than {limit}"
+        )
+    paths = list(spg.iter_paths())
+    remaining: Set[Path] = set(paths)
+    components: List[List[Path]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        queue = deque([seed])
+        while queue:
+            current = queue.popleft()
+            for neighbor in single_swap_neighbors(spg, current):
+                if neighbor in remaining and neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        remaining -= component
+        components.append(sorted(component))
+    return components

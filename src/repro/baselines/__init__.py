@@ -1,0 +1,16 @@
+"""Baseline methods: the comparison points of Table 2 plus the oracle."""
+
+from .bibfs import BiBFS
+from .naive import NaiveLabelling
+from .oracle import distance_oracle, spg_oracle
+from .parent_ppl import ParentPPLIndex
+from .ppl import PPLIndex
+
+__all__ = [
+    "spg_oracle",
+    "distance_oracle",
+    "BiBFS",
+    "PPLIndex",
+    "ParentPPLIndex",
+    "NaiveLabelling",
+]

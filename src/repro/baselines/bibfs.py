@@ -1,0 +1,40 @@
+"""Bi-BFS — the search-based baseline of Table 2.
+
+A thin, stable-named wrapper over the shared bidirectional machinery in
+:mod:`repro.core.search`: alternating level expansion from both
+endpoints on the *full* graph (no labelling, no sparsification, no
+sketch bound), followed by the reverse search that extracts the SPG.
+The paper reports QbS answering queries 10-300x faster than this
+method; the gap is what Figures 10-11 and §6.5 decompose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.search import SearchStats, bidirectional_spg
+from ..core.spg import ShortestPathGraph
+from ..graph.csr import Graph
+
+__all__ = ["BiBFS"]
+
+
+class BiBFS:
+    """Online bidirectional-BFS query answerer (no precomputation)."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    def query(self, u: int, v: int) -> ShortestPathGraph:
+        """Exact ``SPG(u, v)`` via bidirectional BFS + reverse search."""
+        return bidirectional_spg(self._graph, u, v)
+
+    def query_with_stats(self, u: int, v: int
+                         ) -> Tuple[ShortestPathGraph, SearchStats]:
+        """Query with traversal counters (for the §6.5 comparison)."""
+        stats = SearchStats()
+        spg = bidirectional_spg(self._graph, u, v, stats)
+        return spg, stats
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        return self.query(u, v).distance

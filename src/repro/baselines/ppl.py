@@ -1,0 +1,323 @@
+"""Pruned Path Labelling (PPL) — Section 3.2, Algorithm 1.
+
+PPL adapts Pruned Landmark Labelling (Akiba et al., SIGMOD 2013) to the
+shortest-path-*graph* problem: every vertex is a landmark, processed in
+descending degree order, and labels must form a 2-hop **path** cover
+(Definition 3.2) so the recursive query can split every shortest path
+at a common interior landmark.
+
+Reproduction finding (documented in DESIGN.md and exercised by
+``tests/test_ppl.py::test_paper_algorithm1_counterexample``): the
+pruning rule of the paper's Algorithm 1 — keep the label on
+``d_L == depth`` but stop expanding — does **not** guarantee a 2-hop
+path cover. Stopping expansion can leave a vertex undiscovered at its
+true depth in a later-relevant BFS, so the final labels can miss the
+interior landmark some shortest path needs, and the recursive query
+silently drops paths. This module therefore provides two variants:
+
+* ``variant="sound"`` (default) — a corrected labelling with the rule
+
+      label (r, u)  iff  some shortest r-u path has every *interior*
+      vertex ranked strictly below r,
+
+  computed per landmark with one full BFS (exact distances) plus one
+  rank-restricted BFS (distances using only lower-ranked interiors);
+  ``u`` is labelled iff the two agree. This is a 2-hop path cover:
+  for any pair ``(u, v)`` and any shortest path ``p`` with
+  ``|p| >= 2``, the maximum-ranked interior vertex ``r`` of ``p``
+  satisfies the rule for both ``u`` and ``v`` (the sub-paths' interiors
+  are interiors of ``p``, hence outranked by ``r``), so ``r`` is a
+  common label landmark lying on ``p``. Construction stays
+  ``O(|V| |E|)`` and the label sets remain PPL-sized.
+
+* ``variant="paper"`` — Algorithm 1 exactly as printed, kept for the
+  counterexample and for construction-cost comparisons.
+
+Either way PPL is the labelling-based baseline of Table 2, expected to
+lose to QbS by orders of magnitude at scale.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .._util import UNREACHED, TimeBudget
+from ..core.spg import ShortestPathGraph
+from ..errors import IndexBuildError
+from ..graph.csr import Graph
+from ..graph.traversal import bfs_distances, expand_frontier
+
+__all__ = ["PPLIndex", "restricted_bfs"]
+
+Edge = Tuple[int, int]
+
+INF = float("inf")
+
+
+def _norm(a: int, b: int) -> Edge:
+    return (a, b) if a <= b else (b, a)
+
+
+def restricted_bfs(graph: Graph, root: int, rank_of: np.ndarray,
+                   root_rank: int,
+                   out: Optional[np.ndarray] = None) -> np.ndarray:
+    """BFS distances from ``root`` through lower-ranked interiors only.
+
+    A vertex may appear *on the frontier* (be discovered) regardless of
+    rank, but only vertices ranked strictly below ``root_rank`` (i.e.
+    with a larger rank number) are expanded. The result is, for every
+    ``u``, the length of the shortest ``root``-``u`` path whose interior
+    vertices are all outranked by the root — or ``UNREACHED``.
+    """
+    n = graph.num_vertices
+    if out is None:
+        dist = np.full(n, UNREACHED, dtype=np.int32)
+    else:
+        dist = out
+        dist.fill(UNREACHED)
+    dist[root] = 0
+    frontier = np.array([root], dtype=np.int32)
+    depth = 0
+    indptr, indices = graph.indptr, graph.indices
+    while len(frontier):
+        depth += 1
+        neighbors = expand_frontier(indptr, indices, frontier)
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if len(fresh) == 0:
+            break
+        fresh = np.unique(fresh)
+        dist[fresh] = depth
+        # Only lower-ranked vertices may act as interiors.
+        frontier = fresh[rank_of[fresh] > root_rank]
+    return dist
+
+
+class PPLIndex:
+    """Pruned path labelling over one graph.
+
+    Labels are stored per vertex as parallel rank/distance lists sorted
+    by landmark rank, enabling merge-join distance queries. ``rank`` is
+    the position in the degree-descending landmark order; vertex ids
+    are recovered through ``order``.
+    """
+
+    def __init__(self, graph: Graph, order: np.ndarray,
+                 label_ranks: List[List[int]],
+                 label_dists: List[List[int]]) -> None:
+        self._graph = graph
+        self._order = order
+        self._label_ranks = label_ranks
+        self._label_dists = label_dists
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: Graph, budget: Optional[TimeBudget] = None,
+              variant: str = "sound") -> "PPLIndex":
+        """Build labels from every vertex in degree-descending order.
+
+        ``budget`` emulates the paper's 24-hour wall: construction
+        aborts with :class:`~repro.errors.BudgetExceededError` when
+        exceeded, which the harness reports as DNF.
+        """
+        if variant not in ("sound", "paper"):
+            raise IndexBuildError(f"unknown PPL variant {variant!r}")
+        n = graph.num_vertices
+        degrees = graph.degree()
+        order = np.argsort(-degrees, kind="stable").astype(np.int64)
+
+        label_ranks: List[List[int]] = [[] for _ in range(n)]
+        label_dists: List[List[int]] = [[] for _ in range(n)]
+        index = cls(graph, order, label_ranks, label_dists)
+        if variant == "sound":
+            index._build_sound(budget)
+        else:
+            index._build_paper(budget)
+        return index
+
+    def _build_sound(self, budget: Optional[TimeBudget]) -> None:
+        """Corrected construction: full + rank-restricted BFS pairs."""
+        graph = self._graph
+        n = graph.num_vertices
+        order = self._order
+        rank_of = np.empty(n, dtype=np.int64)
+        rank_of[order] = np.arange(n)
+        full = np.empty(n, dtype=np.int32)
+        restricted = np.empty(n, dtype=np.int32)
+        for rank in range(n):
+            if budget is not None and rank % 16 == 0:
+                budget.check()
+            root = int(order[rank])
+            bfs_distances(graph, root, out=full)
+            restricted_bfs(graph, root, rank_of, rank, out=restricted)
+            labelled = np.nonzero(
+                (restricted != UNREACHED) & (restricted == full)
+            )[0]
+            for u in labelled.tolist():
+                self._label_ranks[u].append(rank)
+                self._label_dists[u].append(int(full[u]))
+
+    def _build_paper(self, budget: Optional[TimeBudget]) -> None:
+        """Algorithm 1 verbatim (known-unsound; see module docstring)."""
+        n = self._graph.num_vertices
+        depth = np.full(n, -1, dtype=np.int32)
+        for rank in range(n):
+            if budget is not None and rank % 16 == 0:
+                budget.check()
+            self._paper_pruned_bfs(rank, depth)
+
+    def _paper_pruned_bfs(self, rank: int, depth: np.ndarray) -> None:
+        """One pruned BFS from the rank-th landmark (Algorithm 1)."""
+        graph = self._graph
+        root = int(self._order[rank])
+        depth.fill(-1)
+        depth[root] = 0
+        queue = deque([root])
+        root_ranks = self._label_ranks[root]
+        root_dists = self._label_dists[root]
+        while queue:
+            u = queue.popleft()
+            d = int(depth[u])
+            covered = self._query_distance_lists(
+                root_ranks, root_dists,
+                self._label_ranks[u], self._label_dists[u],
+            )
+            if covered < d:
+                continue  # lines 6-7: fully covered, prune subtree
+            self._label_ranks[u].append(rank)
+            self._label_dists[u].append(d)
+            if covered == d and u != root:
+                continue  # lines 9-10: label kept, expansion pruned
+            for v in graph.neighbors(u):
+                v = int(v)
+                if depth[v] < 0:
+                    depth[v] = d + 1
+                    queue.append(v)
+
+    @staticmethod
+    def _query_distance_lists(ranks_a: List[int], dists_a: List[int],
+                              ranks_b: List[int], dists_b: List[int]
+                              ) -> float:
+        """2-hop distance query by merge-join on sorted rank lists."""
+        best = INF
+        i = j = 0
+        len_a, len_b = len(ranks_a), len(ranks_b)
+        while i < len_a and j < len_b:
+            ra, rb = ranks_a[i], ranks_b[j]
+            if ra == rb:
+                total = dists_a[i] + dists_b[j]
+                if total < best:
+                    best = total
+                i += 1
+                j += 1
+            elif ra < rb:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        """Exact distance from the 2-hop labels (``None`` if apart)."""
+        self._graph._check_vertex(u)
+        self._graph._check_vertex(v)
+        if u == v:
+            return 0
+        best = self._query_distance_lists(
+            self._label_ranks[u], self._label_dists[u],
+            self._label_ranks[v], self._label_dists[v],
+        )
+        return None if best == INF else int(best)
+
+    def query(self, u: int, v: int) -> ShortestPathGraph:
+        """Answer ``SPG(u, v)`` by recursive label resolution (§3.2)."""
+        self._graph._check_vertex(u)
+        self._graph._check_vertex(v)
+        if u == v:
+            return ShortestPathGraph.trivial(u)
+        distance = self.distance(u, v)
+        if distance is None:
+            return ShortestPathGraph.empty(u, v)
+        memo: Dict[Edge, FrozenSet[Edge]] = {}
+        edges = self._resolve(u, v, distance, memo)
+        return ShortestPathGraph(u, v, distance, edges)
+
+    def _resolve(self, a: int, b: int, distance: int,
+                 memo: Dict[Edge, FrozenSet[Edge]]) -> FrozenSet[Edge]:
+        """Edges of ``G_ab`` via common-landmark splitting.
+
+        The 2-hop path cover guarantees every shortest path of length
+        >= 2 has an *interior* common landmark; splitting at all
+        minimal ones and recursing covers every path. Memoization tames
+        the redundant re-querying the paper's Example 3.4 shows.
+        """
+        key = _norm(a, b)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if distance == 0:
+            memo[key] = frozenset()
+            return memo[key]
+        if distance == 1:
+            memo[key] = frozenset({key})
+            return memo[key]
+        edges: Set[Edge] = set()
+        for r, d_ar, d_br in self._common_minimal_landmarks(a, b, distance):
+            if r == a or r == b:
+                continue  # Definition 3.2 requires interior landmarks
+            edges |= self._resolve(a, r, d_ar, memo)
+            edges |= self._resolve(b, r, d_br, memo)
+        result = frozenset(edges)
+        memo[key] = result
+        return result
+
+    def _common_minimal_landmarks(self, a: int, b: int, distance: int):
+        """Yield ``(vertex, d(a, r), d(b, r))`` for landmarks on shortest
+        ``a``-``b`` paths (the ``V_uv`` sets of §3.2)."""
+        ranks_a = self._label_ranks[a]
+        dists_a = self._label_dists[a]
+        ranks_b = self._label_ranks[b]
+        dists_b = self._label_dists[b]
+        i = j = 0
+        while i < len(ranks_a) and j < len(ranks_b):
+            ra, rb = ranks_a[i], ranks_b[j]
+            if ra == rb:
+                if dists_a[i] + dists_b[j] == distance:
+                    yield int(self._order[ra]), dists_a[i], dists_b[j]
+                i += 1
+                j += 1
+            elif ra < rb:
+                i += 1
+            else:
+                j += 1
+
+    # ------------------------------------------------------------------
+    # Size accounting (Table 3)
+    # ------------------------------------------------------------------
+
+    def num_entries(self) -> int:
+        """Total label entries across all vertices (size(L) of §2)."""
+        return sum(len(ranks) for ranks in self._label_ranks)
+
+    def paper_size_bytes(self) -> int:
+        """Paper cost model (§6.1): 32-bit landmark + 8-bit distance."""
+        return self.num_entries() * 5
+
+    @property
+    def order(self) -> np.ndarray:
+        """Landmark order (vertex ids, degree-descending)."""
+        return self._order
+
+    def label_of(self, v: int) -> List[Tuple[int, int]]:
+        """Label of ``v`` as ``[(landmark_vertex, distance), ...]``."""
+        return [(int(self._order[rank]), int(dist))
+                for rank, dist in zip(self._label_ranks[v],
+                                      self._label_dists[v])]

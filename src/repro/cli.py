@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs one of the paper's experiments on the synthetic stand-ins and
+prints the resulting table. Examples::
+
+    python -m repro table1
+    python -m repro table2-query --datasets douban dblp --pairs 100
+    python -m repro fig8 --landmarks 20 60 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import harness
+
+_EXPERIMENTS = {
+    "table1": harness.run_table1,
+    "table2-construction": harness.run_table2_construction,
+    "table2-query": harness.run_table2_query,
+    "table3": harness.run_table3,
+    "fig7": harness.run_fig7,
+    "fig8": harness.run_fig8,
+    "fig9": harness.run_fig9,
+    "fig10": harness.run_fig10,
+    "fig11": harness.run_fig11,
+    "remarks": harness.run_remarks_traversal,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the QbS paper's tables and figures "
+                    "on synthetic dataset stand-ins.",
+    )
+    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        help="restrict to these stand-ins "
+                             "(default: all twelve)")
+    parser.add_argument("--pairs", type=int, default=None,
+                        help="query pairs per dataset "
+                             "(default: scaled to graph size)")
+    parser.add_argument("--landmarks", nargs="+", type=int, default=None,
+                        help="landmark counts for sweep experiments")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = _EXPERIMENTS[args.experiment]
+    kwargs = {}
+    if args.datasets is not None:
+        kwargs["names"] = args.datasets
+    if args.pairs is not None and "pairs" in _accepts(runner):
+        kwargs["num_pairs"] = args.pairs
+    if args.landmarks is not None and "landmarks" in _accepts(runner):
+        kwargs["landmark_counts"] = args.landmarks
+    rows = runner(**kwargs)
+    print(harness.format_rows(rows))
+    return 0
+
+
+def _accepts(runner) -> str:
+    """Map runner signature to the CLI flags it understands."""
+    import inspect
+
+    params = inspect.signature(runner).parameters
+    accepted = []
+    if "num_pairs" in params:
+        accepted.append("pairs")
+    if "landmark_counts" in params:
+        accepted.append("landmarks")
+    return " ".join(accepted)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Labelling-scheme construction (Algorithm 2 of the paper).
+
+For each landmark ``r`` a single BFS partitions discovered vertices
+into two queues:
+
+* ``Q_L`` — vertices reached by at least one shortest path from ``r``
+  that passes through **no other landmark**; these receive the label
+  ``(r, depth)``;
+* ``Q_N`` — vertices whose every shortest path from ``r`` crosses some
+  other landmark first; they are traversed (to block re-discovery) but
+  not labelled.
+
+Landmarks discovered from the ``Q_L`` side become meta-graph edges with
+weight equal to their exact distance from ``r`` (Definition 4.1). The
+construction is deterministic for a fixed landmark set (Lemma 5.2),
+which is what makes the thread-parallel builder in
+:mod:`repro.core.parallel` safe.
+
+The result is stored the way the paper accounts for it: a dense
+``|V| x |R|`` uint8 matrix (``|R| * 8`` bits per vertex, §6.1), with
+:data:`~repro._util.NO_LABEL` marking absent entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .._util import NO_LABEL
+from ..errors import IndexBuildError
+from ..graph.csr import Graph
+from ..graph.traversal import expand_frontier
+
+__all__ = ["PathLabelling", "build_labelling", "label_bfs"]
+
+#: Largest distance representable in a uint8 label (255 is the sentinel).
+MAX_LABEL_DISTANCE = 254
+
+
+@dataclass
+class PathLabelling:
+    """The path labelling ``L`` plus raw meta-graph edges.
+
+    Attributes
+    ----------
+    landmarks:
+        int32 array of landmark vertex ids; column ``i`` of
+        ``label_matrix`` belongs to ``landmarks[i]``.
+    landmark_position:
+        int32 array of length ``|V|``; position of each landmark in
+        ``landmarks`` (or -1 for non-landmarks).
+    label_matrix:
+        ``(|V|, |R|)`` uint8 array; ``label_matrix[v, i]`` is
+        ``d_G(v, landmarks[i])`` when a landmark-avoiding shortest path
+        exists, else :data:`NO_LABEL`. Landmark rows are all
+        :data:`NO_LABEL` (labels are defined on ``V \\ R``).
+    meta_edges:
+        Mapping ``(i, j) -> weight`` over landmark *positions*
+        (``i < j``), the meta-graph edge set ``E_R`` with ``σ``.
+    """
+
+    landmarks: np.ndarray
+    landmark_position: np.ndarray
+    label_matrix: np.ndarray
+    meta_edges: Dict[Tuple[int, int], int]
+
+    @property
+    def num_landmarks(self) -> int:
+        return len(self.landmarks)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.landmark_position)
+
+    def is_landmark(self, v: int) -> bool:
+        return self.landmark_position[v] >= 0
+
+    def label_entries(self, v: int) -> List[Tuple[int, int]]:
+        """Label of ``v`` as ``[(landmark_vertex, distance), ...]``.
+
+        Mirrors the per-vertex label sets of Definition 4.2; mostly for
+        tests and debugging (hot paths use the matrix directly).
+        """
+        row = self.label_matrix[v]
+        present = np.nonzero(row != NO_LABEL)[0]
+        return [(int(self.landmarks[i]), int(row[i])) for i in present]
+
+    def size_entries(self) -> int:
+        """Number of materialized label entries (size(L) of §2)."""
+        return int(np.count_nonzero(self.label_matrix != NO_LABEL))
+
+    def paper_size_bytes(self) -> int:
+        """Paper cost model: ``|R| * 8`` bits = ``|R|`` bytes per vertex."""
+        return self.num_vertices * self.num_landmarks
+
+
+def label_bfs(graph: Graph, root: int, is_landmark: np.ndarray,
+              label_column: np.ndarray) -> List[Tuple[int, int]]:
+    """One labelled BFS from landmark ``root`` (Algorithm 2 body).
+
+    Fills ``label_column`` (uint8, length ``|V|``) in place with the
+    distances of vertices that receive the label ``(root, .)``, and
+    returns the discovered meta edges as ``[(landmark_vertex, weight)]``.
+
+    The two frontiers are expanded level-synchronously with the
+    ``Q_L``-before-``Q_N`` order of Algorithm 2 (lines 8-21): a vertex
+    reachable at the same depth from both queues is labelled, because
+    some shortest path to it avoids other landmarks.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    visited[root] = True
+    frontier_labelled = np.array([root], dtype=np.int32)
+    frontier_silent = np.empty(0, dtype=np.int32)
+    meta_edges: List[Tuple[int, int]] = []
+    depth = 0
+
+    while len(frontier_labelled) or len(frontier_silent):
+        depth += 1
+        if depth > MAX_LABEL_DISTANCE:
+            raise IndexBuildError(
+                f"BFS from landmark {root} exceeded the uint8 label "
+                f"distance limit ({MAX_LABEL_DISTANCE}); the paper's "
+                f"8-bit-per-label cost model assumes small-diameter graphs"
+            )
+        # Lines 8-17: expand the labelled queue first. Anything fresh
+        # it reaches has a shortest path from `root` avoiding other
+        # landmarks (through labelled vertices only).
+        neighbors = expand_frontier(indptr, indices, frontier_labelled)
+        fresh = neighbors[~visited[neighbors]]
+        fresh = np.unique(fresh)
+        visited[fresh] = True
+        landmark_hits = fresh[is_landmark[fresh]]
+        labelled_next = fresh[~is_landmark[fresh]]
+        label_column[labelled_next] = depth
+        for hit in landmark_hits:
+            meta_edges.append((int(hit), depth))
+        # Lines 18-21: expand the silent queue. Fresh vertices here are
+        # reachable only through other landmarks — traversed, no label.
+        neighbors = expand_frontier(indptr, indices, frontier_silent)
+        silent_fresh = neighbors[~visited[neighbors]]
+        silent_fresh = np.unique(silent_fresh)
+        visited[silent_fresh] = True
+        frontier_labelled = labelled_next
+        # Landmarks always continue silently, as do silent discoveries.
+        frontier_silent = np.concatenate((landmark_hits, silent_fresh))
+    return meta_edges
+
+
+def build_labelling(graph: Graph, landmarks: np.ndarray) -> PathLabelling:
+    """Sequential labelling construction (the paper's QbS variant).
+
+    Runs :func:`label_bfs` for every landmark in order; because the
+    scheme is deterministic w.r.t. the landmark *set* (Lemma 5.2), the
+    order only affects column layout, not content.
+    """
+    landmarks = np.asarray(landmarks, dtype=np.int32)
+    n = graph.num_vertices
+    if len(landmarks) == 0:
+        raise IndexBuildError("landmark set must be non-empty")
+    if len(np.unique(landmarks)) != len(landmarks):
+        raise IndexBuildError("landmark set contains duplicates")
+    if len(landmarks) and (landmarks.min() < 0 or landmarks.max() >= n):
+        raise IndexBuildError("landmark id out of range")
+
+    position = np.full(n, -1, dtype=np.int32)
+    position[landmarks] = np.arange(len(landmarks), dtype=np.int32)
+    is_landmark = position >= 0
+
+    label_matrix = np.full((n, len(landmarks)), NO_LABEL, dtype=np.uint8)
+    meta: Dict[Tuple[int, int], int] = {}
+    for i, root in enumerate(landmarks):
+        hits = label_bfs(graph, int(root), is_landmark, label_matrix[:, i])
+        _merge_meta_edges(meta, position, int(root), hits)
+    return PathLabelling(
+        landmarks=landmarks,
+        landmark_position=position,
+        label_matrix=label_matrix,
+        meta_edges=meta,
+    )
+
+
+def _merge_meta_edges(meta: Dict[Tuple[int, int], int],
+                      position: np.ndarray, root: int,
+                      hits: List[Tuple[int, int]]) -> None:
+    """Fold the meta edges found by one BFS into the shared dict.
+
+    Each meta edge is discovered from both endpoints; the weights must
+    agree (both are the exact graph distance) — a mismatch would mean
+    the BFS is broken, so it is asserted.
+    """
+    root_pos = int(position[root])
+    for other_vertex, weight in hits:
+        other_pos = int(position[other_vertex])
+        key = (min(root_pos, other_pos), max(root_pos, other_pos))
+        existing = meta.get(key)
+        if existing is not None and existing != weight:
+            raise IndexBuildError(
+                f"inconsistent meta edge weight for landmarks {key}: "
+                f"{existing} vs {weight}"
+            )
+        meta[key] = weight

@@ -1,0 +1,276 @@
+"""The public Query-by-Sketch index.
+
+:class:`QbSIndex` packages the paper's three phases behind two calls:
+
+>>> from repro import Graph, QbSIndex
+>>> g = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)])
+>>> index = QbSIndex.build(g, num_landmarks=2)
+>>> spg = index.query(0, 4)
+>>> spg.distance
+3
+>>> sorted(spg.edges)
+[(0, 1), (0, 3), (1, 2), (2, 3), (2, 4)]
+
+Offline, :meth:`build` selects landmarks, constructs the labelling
+scheme (Algorithm 2, sequential or thread-parallel), assembles the
+meta-graph with its precomputed inter-landmark SPGs, and sparsifies the
+graph. Online, :meth:`query` sketches (Algorithm 3) and runs the guided
+search (Algorithm 4).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import Stopwatch
+from ..errors import QueryError, VertexError
+from ..graph.csr import Graph
+from .labelling import PathLabelling, build_labelling
+from .landmarks import select_landmarks
+from .metagraph import MetaGraph, build_meta_graph
+from .parallel import build_labelling_parallel
+from .search import GuidedSearcher, SearchStats, bidirectional_spg
+from .sketch import Sketch, compute_sketch
+from .spg import ShortestPathGraph
+
+__all__ = ["QbSIndex", "BuildReport"]
+
+
+@dataclass
+class BuildReport:
+    """Timings and sizes recorded while building an index.
+
+    The benchmark harness reads these to fill the construction-time
+    and labelling-size columns of Tables 2 and 3.
+    """
+
+    num_landmarks: int
+    parallel: bool
+    labelling_seconds: float
+    meta_seconds: float
+    sparsify_seconds: float
+    total_seconds: float
+    label_size_bytes: int
+    meta_size_bytes: int
+    delta_edges: int
+
+    @property
+    def delta_size_bytes(self) -> int:
+        """size(Δ) under the paper's 8-bytes-per-edge accounting."""
+        return self.delta_edges * 8
+
+
+class QbSIndex:
+    """A built Query-by-Sketch index over one graph."""
+
+    def __init__(self, graph: Graph, labelling: PathLabelling,
+                 meta: MetaGraph, sparsified: Graph,
+                 report: BuildReport) -> None:
+        self._graph = graph
+        self._labelling = labelling
+        self._meta = meta
+        self._sparsified = sparsified
+        self._searcher = GuidedSearcher(graph, sparsified, labelling, meta)
+        self.report = report
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: Graph, num_landmarks: int = 20,
+              strategy: str = "degree", seed=None,
+              landmarks: Optional[np.ndarray] = None,
+              parallel: bool = False,
+              num_threads: Optional[int] = None,
+              precompute_delta: bool = True) -> "QbSIndex":
+        """Build the index (the paper's offline phase).
+
+        Parameters
+        ----------
+        graph:
+            Input graph (undirected CSR).
+        num_landmarks:
+            ``|R|``; the paper's default is 20.
+        strategy:
+            Landmark selection strategy (default: highest degree, as in
+            §6.1). Ignored when ``landmarks`` is given explicitly.
+        seed:
+            Randomness for stochastic strategies.
+        landmarks:
+            Explicit landmark vertex ids (overrides selection).
+        parallel:
+            Use the thread-parallel builder (QbS-P of Table 2).
+        num_threads:
+            Worker count for ``parallel=True``.
+        precompute_delta:
+            Materialize inter-landmark SPGs (Δ). Disable only for the
+            ablation that measures their benefit.
+        """
+        if landmarks is None:
+            chosen = select_landmarks(graph, num_landmarks,
+                                      strategy=strategy, seed=seed)
+        else:
+            chosen = np.asarray(landmarks, dtype=np.int32)
+
+        with Stopwatch() as sw_total:
+            with Stopwatch() as sw_label:
+                if parallel:
+                    labelling = build_labelling_parallel(
+                        graph, chosen, num_threads=num_threads
+                    )
+                else:
+                    labelling = build_labelling(graph, chosen)
+            with Stopwatch() as sw_meta:
+                meta = build_meta_graph(
+                    graph, labelling, precompute_delta=precompute_delta
+                )
+            with Stopwatch() as sw_sparse:
+                sparsified = graph.remove_vertices(chosen)
+        report = BuildReport(
+            num_landmarks=len(chosen),
+            parallel=parallel,
+            labelling_seconds=sw_label.elapsed,
+            meta_seconds=sw_meta.elapsed,
+            sparsify_seconds=sw_sparse.elapsed,
+            total_seconds=sw_total.elapsed,
+            label_size_bytes=labelling.paper_size_bytes(),
+            meta_size_bytes=meta.paper_size_bytes(),
+            delta_edges=meta.delta_total_edges(),
+        )
+        return cls(graph, labelling, meta, sparsified, report)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, u: int, v: int) -> ShortestPathGraph:
+        """Answer ``SPG(u, v)`` exactly (Definition 2.3)."""
+        spg, _ = self.query_with_stats(u, v)
+        return spg
+
+    def query_with_stats(self, u: int, v: int, use_budgets: bool = True
+                         ) -> Tuple[ShortestPathGraph, SearchStats]:
+        """Like :meth:`query`, returning search instrumentation too.
+
+        ``use_budgets=False`` disables the sketch's side-selection
+        guidance (ablation of §6.5 gain source (2)); results are
+        identical, only traversal effort changes.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return ShortestPathGraph.trivial(u), SearchStats()
+        if self._labelling.is_landmark(u) or self._labelling.is_landmark(v):
+            # Labels are defined on V \ R (Definition 4.2); the paper
+            # leaves landmark endpoints implicit. They are rare
+            # (|R| << |V|) and answered exactly by the Bi-BFS fallback.
+            stats = SearchStats()
+            return bidirectional_spg(self._graph, u, v, stats), stats
+        sketch = self.sketch(u, v)
+        stats = SearchStats()
+        spg = self._searcher.run(sketch, stats, use_budgets=use_budgets)
+        return spg, stats
+
+    def sketch(self, u: int, v: int) -> Sketch:
+        """Compute the query sketch only (Algorithm 3); for analysis."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if self._labelling.is_landmark(u) or self._labelling.is_landmark(v):
+            raise QueryError(
+                "sketches are defined for non-landmark endpoints"
+            )
+        return compute_sketch(self._labelling, self._meta, u, v)
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        """Exact shortest-path distance (``None`` when disconnected).
+
+        Uses a fast path that runs only the sketch and the bounded
+        bidirectional stage — no SPG is materialized.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return 0
+        if self._labelling.is_landmark(u) or self._labelling.is_landmark(v):
+            return bidirectional_spg(self._graph, u, v).distance
+        sketch = self.sketch(u, v)
+        return self._searcher.distance_only(sketch)
+
+    def query_many(self, pairs) -> "list[ShortestPathGraph]":
+        """Answer a batch of ``(u, v)`` queries."""
+        return [self.query(u, v) for u, v in pairs]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def sparsified_graph(self) -> Graph:
+        """``G⁻ = G[V \\ R]`` used by the guided search."""
+        return self._sparsified
+
+    @property
+    def landmarks(self) -> np.ndarray:
+        return self._labelling.landmarks
+
+    @property
+    def labelling(self) -> PathLabelling:
+        return self._labelling
+
+    @property
+    def meta_graph(self) -> MetaGraph:
+        return self._meta
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._graph.num_vertices:
+            raise VertexError(v, self._graph.num_vertices)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the index (graph + labelling + meta) with pickle."""
+        payload = {
+            "format": "repro-qbs-v1",
+            "graph": (self._graph.indptr, self._graph.indices),
+            "landmarks": self._labelling.landmarks,
+            "label_matrix": self._labelling.label_matrix,
+            "meta_edges": self._meta.edges,
+            "delta": self._meta.delta,
+            "report": self.report,
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "QbSIndex":
+        """Load an index written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("format") != "repro-qbs-v1":
+            raise QueryError(f"{path}: not a repro QbS index file")
+        indptr, indices = payload["graph"]
+        graph = Graph(indptr, indices, validate=False)
+        landmarks = payload["landmarks"]
+        position = np.full(graph.num_vertices, -1, dtype=np.int32)
+        position[landmarks] = np.arange(len(landmarks), dtype=np.int32)
+        labelling = PathLabelling(
+            landmarks=landmarks,
+            landmark_position=position,
+            label_matrix=payload["label_matrix"],
+            meta_edges=payload["meta_edges"],
+        )
+        meta = build_meta_graph(graph, labelling, precompute_delta=False)
+        meta.delta.update(payload["delta"])
+        sparsified = graph.remove_vertices(landmarks)
+        return cls(graph, labelling, meta, sparsified, payload["report"])

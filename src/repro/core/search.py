@@ -1,0 +1,402 @@
+"""Guided searching (Algorithm 4 of the paper).
+
+Answering ``SPG(u, v)`` after sketching has three stages:
+
+1. **Bidirectional search** on the sparsified graph ``G⁻ = G[V \\ R]``,
+   alternating a forward (``u``) and backward (``v``) level expansion.
+   The sketch contributes the upper bound ``d_top`` (stop once
+   ``d_u + d_v`` reaches it) and the per-side budgets ``d*`` (Eq. 4)
+   that bias which side to grow; ties fall back to the smaller visited
+   set, the classic optimized bi-BFS rule.
+2. **Reverse search** — when the frontiers met, walk the two depth
+   arrays back from the minimal meeting set, collecting every edge of
+   ``G⁻_uv`` (shortest paths that avoid landmarks entirely).
+3. **Recover search** — when landmark routes tie the distance,
+   reconstruct ``G^L_uv`` (shortest paths through landmarks) from the
+   ``Z`` seed pairs (line 19-23), the label columns, and the
+   precomputed inter-landmark SPGs ``Δ``.
+
+The final answer is the union prescribed by Eq. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .._util import UNREACHED
+from ..graph.csr import Graph
+from .labelling import PathLabelling
+from .metagraph import MetaGraph
+from .sketch import Sketch
+from .spg import ShortestPathGraph
+
+__all__ = ["SearchStats", "GuidedSearcher", "bidirectional_spg"]
+
+Edge = Tuple[int, int]
+
+
+def _norm(a: int, b: int) -> Edge:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for the §6.5 traversal-savings experiments."""
+
+    edges_traversed: int = 0
+    levels_u: int = 0
+    levels_v: int = 0
+    met: bool = False
+    used_reverse: bool = False
+    used_recover: bool = False
+    d_minus: Optional[int] = None
+    d_top: Optional[int] = None
+
+
+@dataclass
+class _BfsSide:
+    """State of one direction of the bidirectional search."""
+
+    source: int
+    depth: np.ndarray
+    levels: List[np.ndarray] = field(default_factory=list)
+    frontier: np.ndarray = field(default=None)
+    current_depth: int = 0
+    visited_count: int = 1
+
+    @classmethod
+    def start(cls, source: int, num_vertices: int) -> "_BfsSide":
+        depth = np.full(num_vertices, UNREACHED, dtype=np.int32)
+        depth[source] = 0
+        frontier = np.array([source], dtype=np.int32)
+        side = cls(source=source, depth=depth, frontier=frontier)
+        side.levels.append(frontier)
+        return side
+
+
+class GuidedSearcher:
+    """Reusable query executor bound to one built QbS index."""
+
+    def __init__(self, graph: Graph, sparsified: Graph,
+                 labelling: PathLabelling, meta: MetaGraph) -> None:
+        self._graph = graph
+        self._sparsified = sparsified
+        self._labelling = labelling
+        self._meta = meta
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, sketch: Sketch, stats: Optional[SearchStats] = None,
+            use_budgets: bool = True) -> ShortestPathGraph:
+        """Execute Algorithm 4 for a prepared sketch.
+
+        ``use_budgets=False`` disables the Eq. 4 side-selection hints
+        (the ablation for §6.5 gain source (2)); the ``d_top`` bound and
+        correctness are unaffected.
+        """
+        u, v = sketch.u, sketch.v
+        stats = stats if stats is not None else SearchStats()
+        stats.d_top = sketch.d_top
+
+        side_u = _BfsSide.start(u, self._graph.num_vertices)
+        side_v = _BfsSide.start(v, self._graph.num_vertices)
+        d_minus, meeting = self._bidirectional(sketch, side_u, side_v, stats,
+                                               use_budgets=use_budgets)
+        stats.d_minus = d_minus
+        stats.met = meeting is not None
+
+        candidates = [d for d in (d_minus, sketch.d_top) if d is not None]
+        if not candidates:
+            return ShortestPathGraph.empty(u, v)
+        distance = min(candidates)
+
+        edges: Set[Edge] = set()
+        if d_minus is not None and d_minus == distance:
+            stats.used_reverse = True
+            assert meeting is not None
+            edges |= self._reverse_search(meeting, side_u)
+            edges |= self._reverse_search(meeting, side_v)
+        if sketch.d_top is not None and sketch.d_top == distance:
+            stats.used_recover = True
+            edges |= self._recover_search(sketch, side_u, side_v)
+        return ShortestPathGraph(u, v, distance, edges)
+
+    def distance_only(self, sketch: Sketch,
+                      stats: Optional[SearchStats] = None) -> Optional[int]:
+        """Exact distance without materializing the SPG.
+
+        Runs only the bounded bidirectional stage and combines it with
+        the sketch bound (``d = min(d_minus, d_top)``, §4.3). Cheaper
+        than :meth:`run` because the reverse and recover stages are
+        skipped entirely.
+        """
+        stats = stats if stats is not None else SearchStats()
+        stats.d_top = sketch.d_top
+        side_u = _BfsSide.start(sketch.u, self._graph.num_vertices)
+        side_v = _BfsSide.start(sketch.v, self._graph.num_vertices)
+        d_minus, _ = self._bidirectional(sketch, side_u, side_v, stats)
+        stats.d_minus = d_minus
+        candidates = [d for d in (d_minus, sketch.d_top) if d is not None]
+        return min(candidates) if candidates else None
+
+    # ------------------------------------------------------------------
+    # Stage 1: bounded bidirectional BFS on G-minus
+    # ------------------------------------------------------------------
+
+    def _bidirectional(self, sketch: Sketch, side_u: _BfsSide,
+                       side_v: _BfsSide, stats: SearchStats,
+                       use_budgets: bool = True):
+        """Alternating level expansion (Algorithm 4 lines 6-15).
+
+        Returns ``(d_minus, meeting)`` — the exact ``d_{G⁻}(u, v)`` and
+        the minimal meeting vertex set, or ``(None, None)`` when the
+        endpoints do not connect within the ``d_top`` bound.
+        """
+        d_top = sketch.d_top
+        indptr = self._sparsified.indptr
+        indices = self._sparsified.indices
+        while d_top is None or side_u.current_depth + side_v.current_depth \
+                < d_top:
+            side = self._pick_side(sketch, side_u, side_v, use_budgets)
+            if side is None:
+                return None, None
+            other = side_v if side is side_u else side_u
+            fresh = self._expand(indptr, indices, side, stats)
+            hits = fresh[other.depth[fresh] != UNREACHED]
+            if len(hits):
+                sums = side.current_depth + other.depth[hits]
+                d_minus = int(sums.min())
+                meeting = hits[sums == d_minus]
+                return d_minus, meeting
+            if len(fresh) == 0:
+                # The side's whole G⁻ component is explored without a
+                # meeting, so the pair is disconnected in G⁻.
+                return None, None
+        return None, None
+
+    def _pick_side(self, sketch: Sketch, side_u: _BfsSide,
+                   side_v: _BfsSide,
+                   use_budgets: bool = True) -> Optional[_BfsSide]:
+        """pick_search of Algorithm 4 line 7.
+
+        Prefer the side whose sketch budget ``d*`` is not yet met; break
+        ties (both or neither under budget) with the smaller visited
+        set. A side with an exhausted frontier can never progress, so
+        the other is chosen; both exhausted means ``G⁻`` disconnects
+        the pair.
+        """
+        u_alive = len(side_u.frontier) > 0
+        v_alive = len(side_v.frontier) > 0
+        if not u_alive and not v_alive:
+            return None
+        if not u_alive:
+            return side_v
+        if not v_alive:
+            return side_u
+        if use_budgets:
+            u_under = side_u.current_depth < sketch.budget_u
+            v_under = side_v.current_depth < sketch.budget_v
+            if u_under != v_under:
+                return side_u if u_under else side_v
+        if side_u.visited_count <= side_v.visited_count:
+            return side_u
+        return side_v
+
+    @staticmethod
+    def _expand(indptr: np.ndarray, indices: np.ndarray, side: _BfsSide,
+                stats: SearchStats) -> np.ndarray:
+        """Grow ``side`` one BFS level; returns the fresh vertex array."""
+        from ..graph.traversal import expand_frontier
+
+        neighbors = expand_frontier(indptr, indices, side.frontier)
+        stats.edges_traversed += len(neighbors)
+        fresh = neighbors[side.depth[neighbors] == UNREACHED]
+        fresh = np.unique(fresh)
+        side.current_depth += 1
+        side.depth[fresh] = side.current_depth
+        side.levels.append(fresh)
+        side.frontier = fresh
+        side.visited_count += len(fresh)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Stage 2: reverse search (lines 16-17)
+    # ------------------------------------------------------------------
+
+    def _reverse_search(self, seeds: np.ndarray,
+                        side: _BfsSide) -> Set[Edge]:
+        """Collect all ``G⁻`` shortest-path edges from ``seeds`` back to
+        the side's source, descending its exact depth array."""
+        return _descend_depths(self._sparsified, side.depth, seeds)
+
+    # ------------------------------------------------------------------
+    # Stage 3: recover search (lines 18-24)
+    # ------------------------------------------------------------------
+
+    def _recover_search(self, sketch: Sketch, side_u: _BfsSide,
+                        side_v: _BfsSide) -> Set[Edge]:
+        """Reconstruct ``G^L_uv``: shortest paths through landmarks."""
+        edges: Set[Edge] = set()
+        label_matrix = self._labelling.label_matrix
+        for side, sketch_edges in ((side_u, sketch.side_u),
+                                   (side_v, sketch.side_v)):
+            # Z seeds (lines 19-23): per minimal landmark route, the
+            # explored vertices nearest to the landmark.
+            per_landmark: Dict[int, Dict[int, Set[int]]] = {}
+            for r_pos, sigma in sketch_edges.items():
+                d_m = min(sigma - 1, side.current_depth)
+                level = side.levels[d_m]
+                remaining = sigma - d_m
+                column = label_matrix[:, r_pos]
+                seeds = level[column[level] == remaining]
+                if len(seeds) == 0:
+                    continue
+                by_delta = per_landmark.setdefault(r_pos, {})
+                by_delta.setdefault(remaining, set()).update(
+                    int(w) for w in seeds
+                )
+                # Segment t .. w via the searched depths.
+                edges |= _descend_depths(self._sparsified, side.depth,
+                                         seeds)
+            # Segment w .. r via the label column.
+            for r_pos, by_delta in per_landmark.items():
+                edges |= self._descend_labels(r_pos, by_delta)
+        # Landmark-to-landmark structure: expand every meta edge on a
+        # shortest meta path of each minimizing pair with its Δ SPG.
+        expanded: Set[Edge] = set()
+        for r, r_prime in set(sketch.meta_pairs):
+            for a, b in self._meta.meta_spg_edges(r, r_prime):
+                key = (min(a, b), max(a, b))
+                if key in expanded:
+                    continue
+                expanded.add(key)
+                edges |= self._expand_delta(key)
+        return edges
+
+    def _expand_delta(self, key: Tuple[int, int]) -> FrozenSet[Edge]:
+        """Δ edges for a meta edge — precomputed, or rebuilt on demand
+        when the index was built with ``precompute_delta=False``."""
+        delta = self._meta.delta.get(key)
+        if delta is None:
+            from .metagraph import _landmark_pair_spg
+
+            delta = _landmark_pair_spg(
+                self._graph, self._labelling, key[0], key[1],
+                self._meta.edges[key],
+            )
+        return delta
+
+    def _descend_labels(self, r_pos: int,
+                        by_delta: Dict[int, Set[int]]) -> Set[Edge]:
+        """Walk label column ``r_pos`` down to the landmark itself.
+
+        ``by_delta`` maps label distance -> seed vertices at that
+        distance; the descent merges levels so shared sub-paths are
+        traversed once.
+        """
+        landmark_vertex = int(self._labelling.landmarks[r_pos])
+        column = self._labelling.label_matrix[:, r_pos]
+        sparsified = self._sparsified
+        edges: Set[Edge] = set()
+        if not by_delta:
+            return edges
+        top = max(by_delta)
+        levels: List[Set[int]] = [set() for _ in range(top + 1)]
+        for delta, seeds in by_delta.items():
+            levels[delta] |= seeds
+        for delta in range(top, 0, -1):
+            for x in levels[delta]:
+                if delta == 1:
+                    # d(x, landmark) == 1: the direct edge exists in G.
+                    edges.add(_norm(x, landmark_vertex))
+                    continue
+                for y in sparsified.neighbors(x):
+                    y = int(y)
+                    if column[y] == delta - 1:
+                        edges.add(_norm(x, y))
+                        levels[delta - 1].add(y)
+        return edges
+
+
+def _descend_depths(sparsified: Graph, depth: np.ndarray,
+                    seeds) -> Set[Edge]:
+    """All shortest-path edges from ``seeds`` back to depth 0.
+
+    For each vertex ``x`` at depth ``d`` every neighbour at exact depth
+    ``d - 1`` is a BFS parent, and each such edge lies on a shortest
+    path from the source to ``x``.
+    """
+    edges: Set[Edge] = set()
+    buckets: Dict[int, Set[int]] = {}
+    for x in seeds:
+        x = int(x)
+        d = int(depth[x])
+        if d > 0:
+            buckets.setdefault(d, set()).add(x)
+    if not buckets:
+        return edges
+    # Descend level by level; vertices discovered at level d-1 are
+    # processed on the next iteration even if no seed started there.
+    for d in range(max(buckets), 0, -1):
+        for x in buckets.get(d, ()):
+            for y in sparsified.neighbors(x):
+                y = int(y)
+                if depth[y] == d - 1:
+                    edges.add(_norm(x, y))
+                    if d - 1 > 0:
+                        buckets.setdefault(d - 1, set()).add(y)
+    return edges
+
+
+def bidirectional_spg(graph: Graph, u: int, v: int,
+                      stats: Optional[SearchStats] = None
+                      ) -> ShortestPathGraph:
+    """Plain bidirectional-BFS SPG on the *full* graph.
+
+    This is the Bi-BFS baseline of Table 2 (and the fallback for
+    landmark endpoints): the same alternating search and reverse
+    machinery as the guided version, with no sketch bound, no budgets
+    and no sparsification.
+    """
+    graph._check_vertex(u)
+    graph._check_vertex(v)
+    if u == v:
+        return ShortestPathGraph.trivial(u)
+    stats = stats if stats is not None else SearchStats()
+    from ..graph.traversal import expand_frontier
+
+    n = graph.num_vertices
+    side_u = _BfsSide.start(u, n)
+    side_v = _BfsSide.start(v, n)
+    indptr, indices = graph.indptr, graph.indices
+    while True:
+        if len(side_u.frontier) == 0 and len(side_v.frontier) == 0:
+            return ShortestPathGraph.empty(u, v)
+        if len(side_u.frontier) == 0:
+            side = side_v
+        elif len(side_v.frontier) == 0:
+            side = side_u
+        elif side_u.visited_count <= side_v.visited_count:
+            side = side_u
+        else:
+            side = side_v
+        other = side_v if side is side_u else side_u
+        fresh = GuidedSearcher._expand(indptr, indices, side, stats)
+        if len(fresh) == 0:
+            # Component exhausted without meeting: disconnected pair.
+            return ShortestPathGraph.empty(u, v)
+        hits = fresh[other.depth[fresh] != UNREACHED]
+        if len(hits):
+            sums = side.current_depth + other.depth[hits]
+            distance = int(sums.min())
+            meeting = hits[sums == distance]
+            edges = _descend_depths(graph, side_u.depth, meeting)
+            edges |= _descend_depths(graph, side_v.depth, meeting)
+            stats.met = True
+            stats.d_minus = distance
+            return ShortestPathGraph(u, v, distance, edges)

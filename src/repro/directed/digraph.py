@@ -1,0 +1,202 @@
+"""Directed graph substrate (dual-CSR).
+
+The paper treats its datasets as undirected but notes (§2) that the
+method "can be easily extended to directed ... graphs". This package
+is that extension. A :class:`DiGraph` stores both orientations:
+
+* ``out_indptr`` / ``out_indices`` — successors of each vertex;
+* ``in_indptr`` / ``in_indices``  — predecessors of each vertex;
+
+so forward BFS (along arcs) and backward BFS (against arcs) are both
+CSR-kernel cheap, which the directed labelling and the bidirectional
+search need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphValidationError, VertexError
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """Undirected-free directed simple graph (no self loops, no
+    parallel arcs)."""
+
+    __slots__ = ("_out_indptr", "_out_indices", "_in_indptr",
+                 "_in_indices")
+
+    def __init__(self, out_indptr, out_indices, in_indptr, in_indices
+                 ) -> None:
+        self._out_indptr = np.asarray(out_indptr, dtype=np.int64)
+        self._out_indices = np.asarray(out_indices, dtype=np.int32)
+        self._in_indptr = np.asarray(in_indptr, dtype=np.int64)
+        self._in_indices = np.asarray(in_indices, dtype=np.int32)
+        for array in (self._out_indptr, self._out_indices,
+                      self._in_indptr, self._in_indices):
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_arcs(cls, arcs: Iterable[Tuple[int, int]],
+                  num_vertices: Optional[int] = None) -> "DiGraph":
+        """Build from ``(source, target)`` pairs.
+
+        Self loops are dropped and duplicate arcs collapsed; the two
+        orientations of a pair are distinct arcs.
+        """
+        arc_list = np.asarray(list(arcs) if not isinstance(arcs, np.ndarray)
+                              else arcs, dtype=np.int64)
+        if arc_list.size == 0:
+            n = int(num_vertices or 0)
+            empty_ptr = np.zeros(n + 1, dtype=np.int64)
+            empty_idx = np.empty(0, dtype=np.int32)
+            return cls(empty_ptr, empty_idx, empty_ptr.copy(), empty_idx)
+        if arc_list.ndim != 2 or arc_list.shape[1] != 2:
+            raise GraphValidationError(
+                f"arcs must be (m, 2)-shaped, got {arc_list.shape}"
+            )
+        src, dst = arc_list[:, 0], arc_list[:, 1]
+        if src.min() < 0 or dst.min() < 0:
+            raise GraphValidationError("vertex ids must be non-negative")
+        inferred = int(max(src.max(), dst.max())) + 1
+        n = inferred if num_vertices is None else int(num_vertices)
+        if n < inferred:
+            raise GraphValidationError(
+                f"num_vertices={n} too small for id {inferred - 1}"
+            )
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        key = np.unique(src * np.int64(n) + dst)
+        src = (key // n).astype(np.int32)
+        dst = (key % n).astype(np.int32)
+        return cls(*_csr(src, dst, n), *_csr(dst, src, n))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out_indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self._out_indices)
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        return self._out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        return self._out_indices
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        return self._in_indices
+
+    def successors(self, v: int) -> np.ndarray:
+        self._check_vertex(v)
+        return self._out_indices[self._out_indptr[v]:
+                                 self._out_indptr[v + 1]]
+
+    def predecessors(self, v: int) -> np.ndarray:
+        self._check_vertex(v)
+        return self._in_indices[self._in_indptr[v]:
+                                self._in_indptr[v + 1]]
+
+    def out_degree(self, v: Optional[int] = None):
+        if v is None:
+            return np.diff(self._out_indptr)
+        self._check_vertex(v)
+        return int(self._out_indptr[v + 1] - self._out_indptr[v])
+
+    def in_degree(self, v: Optional[int] = None):
+        if v is None:
+            return np.diff(self._in_indptr)
+        self._check_vertex(v)
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def total_degree(self) -> np.ndarray:
+        return self.out_degree() + self.in_degree()
+
+    def has_arc(self, u: int, v: int) -> bool:
+        row = self.successors(u)
+        self._check_vertex(v)
+        pos = np.searchsorted(row, v)
+        return bool(pos < len(row) and row[pos] == v)
+
+    def arcs(self) -> Iterator[Tuple[int, int]]:
+        for u in range(self.num_vertices):
+            for v in self.successors(u):
+                yield u, int(v)
+
+    def remove_vertices(self, vertices) -> "DiGraph":
+        """Id-preserving removal (the directed sparsified graph)."""
+        n = self.num_vertices
+        drop = np.zeros(n, dtype=bool)
+        vertex_array = np.asarray(list(vertices), dtype=np.int64)
+        if len(vertex_array) and (vertex_array.min() < 0
+                                  or vertex_array.max() >= n):
+            bad = vertex_array[(vertex_array < 0) | (vertex_array >= n)][0]
+            raise VertexError(int(bad), n)
+        drop[vertex_array] = True
+        src = np.repeat(np.arange(n, dtype=np.int32),
+                        np.diff(self._out_indptr))
+        dst = self._out_indices
+        keep = ~drop[src] & ~drop[dst]
+        src, dst = src[keep], dst[keep]
+        return DiGraph(*_csr(src, dst, n), *_csr(dst, src, n))
+
+    def reverse(self) -> "DiGraph":
+        """The transpose graph (arcs flipped)."""
+        return DiGraph(self._in_indptr, self._in_indices,
+                       self._out_indptr, self._out_indices)
+
+    def as_undirected_edges(self) -> Iterator[Tuple[int, int]]:
+        """Arcs with orientation dropped (for |E_un| accounting)."""
+        seen = set()
+        for u, v in self.arcs():
+            key = (min(u, v), max(u, v))
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise VertexError(v, self.num_vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (np.array_equal(self._out_indptr, other._out_indptr)
+                and np.array_equal(self._out_indices, other._out_indices))
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return object.__hash__(self)
+
+    def __repr__(self) -> str:
+        return (f"DiGraph(num_vertices={self.num_vertices}, "
+                f"num_arcs={self.num_arcs})")
+
+
+def _csr(src: np.ndarray, dst: np.ndarray, n: int):
+    """Sorted CSR arrays from parallel arc arrays."""
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst.astype(np.int32)

@@ -1,0 +1,66 @@
+"""Ground-truth directed SPG via forward + backward BFS."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._util import UNREACHED
+from ..graph.traversal import expand_frontier
+from .digraph import DiGraph
+from .spg import DirectedSPG
+
+__all__ = ["directed_bfs", "directed_spg_oracle"]
+
+
+def directed_bfs(graph: DiGraph, source: int, forward: bool = True,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
+    """BFS distances along arcs (``forward``) or against them."""
+    graph._check_vertex(source)
+    n = graph.num_vertices
+    if out is None:
+        dist = np.full(n, UNREACHED, dtype=np.int32)
+    else:
+        dist = out
+        dist.fill(UNREACHED)
+    dist[source] = 0
+    if forward:
+        indptr, indices = graph.out_indptr, graph.out_indices
+    else:
+        indptr, indices = graph.in_indptr, graph.in_indices
+    frontier = np.array([source], dtype=np.int32)
+    depth = 0
+    while len(frontier):
+        depth += 1
+        neighbors = expand_frontier(indptr, indices, frontier)
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if len(fresh) == 0:
+            break
+        fresh = np.unique(fresh)
+        dist[fresh] = depth
+        frontier = fresh
+    return dist
+
+
+def directed_spg_oracle(graph: DiGraph, u: int, v: int) -> DirectedSPG:
+    """All arcs on shortest directed ``u -> v`` paths (edge predicate:
+    ``dist_from_u[x] + 1 + dist_to_v[y] == d(u, v)`` for arc (x, y))."""
+    graph._check_vertex(u)
+    graph._check_vertex(v)
+    if u == v:
+        return DirectedSPG.trivial(u)
+    dist_u = directed_bfs(graph, u, forward=True)
+    if dist_u[v] == UNREACHED:
+        return DirectedSPG.empty(u, v)
+    distance = int(dist_u[v])
+    dist_v = directed_bfs(graph, v, forward=False)
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int32),
+                    np.diff(graph.out_indptr))
+    dst = graph.out_indices
+    reach = (dist_u[src] != UNREACHED) & (dist_v[dst] != UNREACHED)
+    on_path = reach & (dist_u[src] + 1 + dist_v[dst] == distance)
+    arcs = map(tuple, np.column_stack((src[on_path],
+                                       dst[on_path])).tolist())
+    return DirectedSPG(u, v, distance, arcs)

@@ -1,0 +1,110 @@
+"""Directed shortest path graph result type."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from ..errors import QueryError
+
+__all__ = ["DirectedSPG"]
+
+Arc = Tuple[int, int]
+
+
+class DirectedSPG:
+    """All shortest directed ``source -> target`` paths, as an arc set.
+
+    The directed analogue of
+    :class:`repro.core.spg.ShortestPathGraph`; arcs keep their
+    orientation.
+    """
+
+    __slots__ = ("source", "target", "distance", "_arcs")
+
+    def __init__(self, source: int, target: int,
+                 distance: Optional[int], arcs) -> None:
+        self.source = int(source)
+        self.target = int(target)
+        self.distance = None if distance is None else int(distance)
+        self._arcs: FrozenSet[Arc] = frozenset(
+            (int(a), int(b)) for a, b in arcs
+        )
+        if self.distance in (None, 0) and self._arcs:
+            raise QueryError(
+                "an SPG with no path (or a trivial one) cannot have arcs"
+            )
+
+    @classmethod
+    def trivial(cls, vertex: int) -> "DirectedSPG":
+        return cls(vertex, vertex, 0, ())
+
+    @classmethod
+    def empty(cls, source: int, target: int) -> "DirectedSPG":
+        return cls(source, target, None, ())
+
+    @property
+    def arcs(self) -> FrozenSet[Arc]:
+        return self._arcs
+
+    @property
+    def vertices(self) -> Set[int]:
+        result = {self.source, self.target}
+        for a, b in self._arcs:
+            result.add(a)
+            result.add(b)
+        return result
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self._arcs)
+
+    def levels(self) -> Dict[int, int]:
+        """Exact distance-from-source of every SPG vertex."""
+        from collections import deque
+
+        successors = defaultdict(list)
+        for a, b in self._arcs:
+            successors[a].append(b)
+        level = {self.source: 0}
+        queue = deque([self.source])
+        while queue:
+            x = queue.popleft()
+            for y in successors[x]:
+                if y not in level:
+                    level[y] = level[x] + 1
+                    queue.append(y)
+        return level
+
+    def count_paths(self) -> int:
+        """Number of distinct shortest paths (DAG dynamic program)."""
+        if self.distance is None:
+            return 0
+        if self.distance == 0:
+            return 1
+        level = self.levels()
+        successors = defaultdict(list)
+        for a, b in self._arcs:
+            successors[a].append(b)
+        ways = defaultdict(int)
+        ways[self.source] = 1
+        for x in sorted(level, key=level.get):
+            for y in successors[x]:
+                if level.get(y) == level[x] + 1:
+                    ways[y] += ways[x]
+        return ways[self.target]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedSPG):
+            return NotImplemented
+        return (self.source == other.source
+                and self.target == other.target
+                and self.distance == other.distance
+                and self._arcs == other._arcs)
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.target, self.distance, self._arcs))
+
+    def __repr__(self) -> str:
+        return (f"DirectedSPG({self.source} -> {self.target}, "
+                f"distance={self.distance}, arcs={len(self._arcs)})")

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while tests can assert on the
+precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an edge list or serialized graph is malformed."""
+
+
+class GraphValidationError(ReproError):
+    """Raised when a graph violates a structural requirement.
+
+    Examples: negative vertex ids, out-of-range endpoints in an edge
+    array, or a CSR structure whose ``indptr`` is not monotone.
+    """
+
+
+class VertexError(ReproError, IndexError):
+    """Raised when a vertex id is outside ``[0, num_vertices)``.
+
+    Inherits :class:`IndexError` so generic indexing code keeps working.
+    """
+
+    def __init__(self, vertex: int, num_vertices: int) -> None:
+        super().__init__(
+            f"vertex {vertex} is out of range for a graph with "
+            f"{num_vertices} vertices"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+
+
+class IndexBuildError(ReproError):
+    """Raised when an index (QbS labelling, PPL, ...) cannot be built."""
+
+
+class BudgetExceededError(IndexBuildError):
+    """Raised when a construction exceeds its time or memory budget.
+
+    The benchmark harness uses this to record DNF/OOE entries, mirroring
+    the ``DNF`` (>24h) and ``OOE`` (out of memory) walls in Table 2 of the
+    paper at laptop-scale budgets.
+    """
+
+    def __init__(self, message: str, *, kind: str) -> None:
+        super().__init__(message)
+        if kind not in ("time", "memory"):
+            raise ValueError(f"unknown budget kind: {kind!r}")
+        self.kind = kind
+
+
+class QueryError(ReproError):
+    """Raised when a query cannot be answered (e.g. index not built)."""

@@ -1,0 +1,67 @@
+"""Graph substrate: CSR storage, builders, IO, generators, traversal."""
+
+from .builder import GraphBuilder, build_graph
+from .csr import Graph
+from .generators import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    largest_connected_component,
+    path_graph,
+    powerlaw_cluster,
+    star_overlay,
+    stochastic_block,
+    watts_strogatz,
+)
+from .io import load_npz, read_edge_list, save_npz, write_edge_list
+from .ops import (
+    average_distance_estimate,
+    degree_statistics,
+    density,
+    diameter_estimate,
+    is_connected,
+    top_degree_vertices,
+)
+from .traversal import (
+    bfs_distances,
+    bfs_distances_bounded,
+    connected_components,
+    expand_frontier,
+    multi_source_bfs,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "build_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "chung_lu",
+    "powerlaw_cluster",
+    "stochastic_block",
+    "grid_2d",
+    "star_overlay",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "largest_connected_component",
+    "bfs_distances",
+    "bfs_distances_bounded",
+    "multi_source_bfs",
+    "expand_frontier",
+    "connected_components",
+    "degree_statistics",
+    "top_degree_vertices",
+    "average_distance_estimate",
+    "is_connected",
+    "diameter_estimate",
+    "density",
+]

@@ -1,0 +1,317 @@
+"""Seeded synthetic graph generators.
+
+The paper evaluates on twelve real networks (social, web, co-authorship,
+communication, computer). Those datasets are multi-gigabyte downloads we
+cannot ship or fetch offline, so the workload layer substitutes seeded
+synthetic graphs whose *structural* properties (heavy-tailed degrees,
+small diameter, clustering, hub dominance) match each network type. The
+generators here are the primitives for that substitution; all are
+deterministic given a seed.
+
+Every generator returns the largest-connected-component-preserving raw
+graph; :func:`largest_connected_component` is applied by the workload
+layer because the paper assumes connected graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._util import check_random_state
+from ..errors import GraphValidationError
+from .builder import build_graph
+from .csr import Graph
+from .traversal import connected_components
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "chung_lu",
+    "powerlaw_cluster",
+    "stochastic_block",
+    "grid_2d",
+    "star_overlay",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "largest_connected_component",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Simple path 0 - 1 - ... - (n-1)."""
+    if n < 1:
+        raise GraphValidationError("path graph needs n >= 1")
+    u = np.arange(n - 1, dtype=np.int64)
+    return build_graph((u, u + 1), num_vertices=n)
+
+
+def cycle_graph(n: int) -> Graph:
+    """Simple cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise GraphValidationError("cycle graph needs n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    return build_graph((u, (u + 1) % n), num_vertices=n)
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique on ``n`` vertices."""
+    if n < 1:
+        raise GraphValidationError("complete graph needs n >= 1")
+    i, j = np.triu_indices(n, k=1)
+    return build_graph((i.astype(np.int64), j.astype(np.int64)),
+                       num_vertices=n)
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """Rows x cols lattice — the road-network-like structure of §8.
+
+    The paper's future work targets road networks; the grid generator
+    lets the benches probe QbS behaviour on large-diameter graphs where
+    landmark sketches are least effective.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphValidationError("grid needs positive dimensions")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horizontal = np.stack((ids[:, :-1].ravel(), ids[:, 1:].ravel()))
+    vertical = np.stack((ids[:-1, :].ravel(), ids[1:, :].ravel()))
+    u = np.concatenate((horizontal[0], vertical[0]))
+    v = np.concatenate((horizontal[1], vertical[1]))
+    return build_graph((u, v), num_vertices=rows * cols)
+
+
+def erdos_renyi(n: int, p: float, seed=None) -> Graph:
+    """G(n, p) random graph (vectorized pair sampling)."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphValidationError("p must be in [0, 1]")
+    rng = check_random_state(seed)
+    if n < 2 or p == 0.0:
+        return Graph.empty(max(n, 0))
+    # Sample the number of edges then distinct pairs — equivalent to
+    # flipping each pair independently for our purposes and O(m) not O(n^2).
+    max_pairs = n * (n - 1) // 2
+    num_edges = rng.binomial(max_pairs, p)
+    key = rng.choice(max_pairs, size=num_edges, replace=False)
+    # Invert the triangular pair index (row-major over i<j).
+    i = (n - 2 - np.floor(
+        np.sqrt(-8.0 * key + 4.0 * n * (n - 1) - 7) / 2.0 - 0.5
+    )).astype(np.int64)
+    j = (key + i + 1 - i * (2 * n - i - 1) // 2).astype(np.int64)
+    return build_graph((i, j), num_vertices=n)
+
+
+def barabasi_albert(n: int, m: int, seed=None) -> Graph:
+    """Preferential attachment (hub-dominated, power-law degrees).
+
+    Matches the social/web networks of Table 1 in spirit: a small core
+    of very high degree vertices — exactly the vertices QbS picks as
+    landmarks.
+    """
+    if m < 1 or n <= m:
+        raise GraphValidationError("require 1 <= m < n")
+    rng = check_random_state(seed)
+    sources = np.empty((n - m) * m, dtype=np.int64)
+    targets = np.empty((n - m) * m, dtype=np.int64)
+    # repeated_nodes implements the preferential attachment urn.
+    repeated = list(range(m))
+    cursor = 0
+    for new_vertex in range(m, n):
+        chosen = set()
+        while len(chosen) < m:
+            pick = repeated[rng.integers(len(repeated))]
+            chosen.add(int(pick))
+        for target in chosen:
+            sources[cursor] = new_vertex
+            targets[cursor] = target
+            cursor += 1
+            repeated.append(target)
+            repeated.append(new_vertex)
+    return build_graph((sources, targets), num_vertices=n)
+
+
+def watts_strogatz(n: int, k: int, p: float, seed=None) -> Graph:
+    """Small-world ring lattice with rewiring probability ``p``."""
+    if k < 2 or k % 2 or k >= n:
+        raise GraphValidationError("k must be even, >= 2 and < n")
+    if not 0.0 <= p <= 1.0:
+        raise GraphValidationError("p must be in [0, 1]")
+    rng = check_random_state(seed)
+    base = np.arange(n, dtype=np.int64)
+    sources, targets = [], []
+    for offset in range(1, k // 2 + 1):
+        u = base
+        v = (base + offset) % n
+        rewire = rng.random(n) < p
+        new_targets = v.copy()
+        for idx in np.nonzero(rewire)[0]:
+            candidate = int(rng.integers(n))
+            attempts = 0
+            while candidate == idx and attempts < 8:
+                candidate = int(rng.integers(n))
+                attempts += 1
+            if candidate != idx:
+                new_targets[idx] = candidate
+        sources.append(u)
+        targets.append(new_targets)
+    return build_graph((np.concatenate(sources), np.concatenate(targets)),
+                       num_vertices=n)
+
+
+def chung_lu(n: int, exponent: float = 2.5, min_degree: float = 2.0,
+             max_degree: Optional[float] = None, seed=None) -> Graph:
+    """Power-law random graph with expected degree sequence.
+
+    Draws a Pareto-like degree sequence with the given ``exponent`` and
+    connects pairs proportionally to weight products (one round of the
+    Chung–Lu model via weighted endpoint sampling). Produces the
+    heavy-tailed degree distributions of the social datasets.
+    """
+    if n < 2:
+        return Graph.empty(max(n, 0))
+    if exponent <= 1.0:
+        raise GraphValidationError("exponent must exceed 1")
+    rng = check_random_state(seed)
+    if max_degree is None:
+        max_degree = float(np.sqrt(n) * 4)
+    uniform = rng.random(n)
+    weights = min_degree * (1.0 - uniform) ** (-1.0 / (exponent - 1.0))
+    weights = np.minimum(weights, max_degree)
+    total = weights.sum()
+    num_edges = int(total / 2.0)
+    probabilities = weights / total
+    u = rng.choice(n, size=num_edges, p=probabilities)
+    v = rng.choice(n, size=num_edges, p=probabilities)
+    return build_graph((u.astype(np.int64), v.astype(np.int64)),
+                       num_vertices=n)
+
+
+def powerlaw_cluster(n: int, m: int, triangle_p: float, seed=None) -> Graph:
+    """Holme–Kim model: preferential attachment plus triangle closure.
+
+    Gives the clustered, power-law structure of co-authorship networks
+    (DBLP in Table 1).
+    """
+    if m < 1 or n <= m:
+        raise GraphValidationError("require 1 <= m < n")
+    if not 0.0 <= triangle_p <= 1.0:
+        raise GraphValidationError("triangle_p must be in [0, 1]")
+    rng = check_random_state(seed)
+    sources, targets = [], []
+    repeated = list(range(m))
+    adjacency = [set() for _ in range(n)]
+    for new_vertex in range(m, n):
+        added = set()
+        count = 0
+        last_target = None
+        while count < m:
+            if (last_target is not None and rng.random() < triangle_p
+                    and adjacency[last_target]):
+                # Triangle step: connect to a neighbour of the previous
+                # target, closing a triangle.
+                neighbours = [w for w in adjacency[last_target]
+                              if w not in added and w != new_vertex]
+                if neighbours:
+                    target = neighbours[int(rng.integers(len(neighbours)))]
+                else:
+                    target = repeated[int(rng.integers(len(repeated)))]
+            else:
+                target = repeated[int(rng.integers(len(repeated)))]
+            if target in added or target == new_vertex:
+                continue
+            added.add(target)
+            sources.append(new_vertex)
+            targets.append(target)
+            adjacency[new_vertex].add(target)
+            adjacency[target].add(new_vertex)
+            repeated.append(target)
+            repeated.append(new_vertex)
+            last_target = target
+            count += 1
+    return build_graph(
+        (np.asarray(sources, dtype=np.int64),
+         np.asarray(targets, dtype=np.int64)),
+        num_vertices=n,
+    )
+
+
+def stochastic_block(sizes, p_in: float, p_out: float, seed=None) -> Graph:
+    """Stochastic block model: dense communities, sparse inter-links."""
+    sizes = list(sizes)
+    if any(s < 1 for s in sizes):
+        raise GraphValidationError("community sizes must be positive")
+    rng = check_random_state(seed)
+    offsets = np.cumsum([0] + sizes)
+    n = int(offsets[-1])
+    pieces_u, pieces_v = [], []
+    for bi, size_i in enumerate(sizes):
+        block = erdos_renyi(size_i, p_in, seed=rng)
+        if block.num_edges:
+            arr = block.edge_array().astype(np.int64) + offsets[bi]
+            pieces_u.append(arr[:, 0])
+            pieces_v.append(arr[:, 1])
+        for bj in range(bi + 1, len(sizes)):
+            size_j = sizes[bj]
+            num_cross = rng.binomial(size_i * size_j, p_out)
+            if num_cross == 0:
+                continue
+            flat = rng.choice(size_i * size_j, size=num_cross, replace=False)
+            pieces_u.append(offsets[bi] + flat // size_j)
+            pieces_v.append(offsets[bj] + flat % size_j)
+    if not pieces_u:
+        return Graph.empty(n)
+    return build_graph(
+        (np.concatenate(pieces_u), np.concatenate(pieces_v)),
+        num_vertices=n,
+    )
+
+
+def star_overlay(graph: Graph, num_hubs: int, spokes_per_hub: int,
+                 seed=None) -> Graph:
+    """Overlay high-degree hubs onto an existing graph.
+
+    Emulates the extreme-hub communication/web networks (WikiTalk,
+    Baidu, ClueWeb09 have max degrees of 1e5–6e6) where a handful of
+    vertices touch a large slice of the graph — the regime where the
+    paper reports the highest pair-coverage ratios (Figure 8).
+    """
+    if num_hubs < 1 or spokes_per_hub < 1:
+        raise GraphValidationError("hubs and spokes must be positive")
+    rng = check_random_state(seed)
+    n = graph.num_vertices
+    hubs = rng.choice(n, size=min(num_hubs, n), replace=False)
+    extra_u, extra_v = [], []
+    for hub in hubs:
+        spokes = rng.choice(n, size=min(spokes_per_hub, n - 1),
+                            replace=False)
+        spokes = spokes[spokes != hub]
+        extra_u.append(np.full(len(spokes), hub, dtype=np.int64))
+        extra_v.append(spokes.astype(np.int64))
+    base = graph.edge_array().astype(np.int64)
+    u = np.concatenate([base[:, 0]] + extra_u)
+    v = np.concatenate([base[:, 1]] + extra_v)
+    return build_graph((u, v), num_vertices=n)
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Relabelled subgraph induced on the largest connected component.
+
+    The paper assumes connected graphs ("we assume that G is undirected
+    and connected"); workloads apply this after generation.
+    """
+    count, labels = connected_components(graph)
+    if count <= 1:
+        return graph
+    largest = int(np.argmax(np.bincount(labels)))
+    keep = labels == largest
+    mapping = np.full(graph.num_vertices, -1, dtype=np.int64)
+    mapping[keep] = np.arange(int(keep.sum()), dtype=np.int64)
+    edges = graph.edge_array().astype(np.int64)
+    mask = keep[edges[:, 0]] & keep[edges[:, 1]]
+    edges = edges[mask]
+    return build_graph(
+        (mapping[edges[:, 0]], mapping[edges[:, 1]]),
+        num_vertices=int(keep.sum()),
+    )

@@ -1,0 +1,140 @@
+"""Whole-graph operations and statistics.
+
+These feed Table 1 (dataset statistics) and the landmark selection
+strategies; they are also generally useful substrate utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._util import UNREACHED, check_random_state
+from .csr import Graph
+from .traversal import bfs_distances, connected_components
+
+__all__ = [
+    "degree_statistics",
+    "top_degree_vertices",
+    "average_distance_estimate",
+    "is_connected",
+    "diameter_estimate",
+    "density",
+    "triangle_count_estimate",
+]
+
+
+def degree_statistics(graph: Graph) -> dict:
+    """Max / mean / median degree plus counts (Table 1 columns)."""
+    degrees = graph.degree()
+    if graph.num_vertices == 0:
+        return {"max": 0, "mean": 0.0, "median": 0.0, "min": 0}
+    return {
+        "max": int(degrees.max()),
+        "mean": float(degrees.mean()),
+        "median": float(np.median(degrees)),
+        "min": int(degrees.min()),
+    }
+
+
+def top_degree_vertices(graph: Graph, count: int) -> np.ndarray:
+    """The ``count`` highest-degree vertices, ties broken by vertex id.
+
+    This is the paper's landmark selection rule (§6.1): "we choose
+    vertices with the largest degrees as landmarks". Deterministic
+    tie-breaking keeps the labelling scheme reproducible (Lemma 5.2 is
+    stated for a *fixed* landmark set).
+    """
+    degrees = graph.degree()
+    count = min(count, graph.num_vertices)
+    # argsort on (-degree, id): stable sort over ids then by degree.
+    order = np.argsort(-degrees, kind="stable")
+    return order[:count].astype(np.int32)
+
+
+def average_distance_estimate(graph: Graph, num_sources: int = 32,
+                              seed=None) -> float:
+    """Estimate the mean pairwise distance by sampling BFS sources.
+
+    Table 1's ``avg. dist`` column; exact computation is
+    ``O(|V| * |E|)`` so the estimate samples sources.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    rng = check_random_state(seed)
+    sources = rng.choice(n, size=min(num_sources, n), replace=False)
+    total = 0.0
+    pairs = 0
+    for source in sources:
+        dist = bfs_distances(graph, int(source))
+        reached = dist[(dist != UNREACHED) & (dist > 0)]
+        total += float(reached.sum())
+        pairs += len(reached)
+    return total / pairs if pairs else 0.0
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph has exactly one connected component."""
+    if graph.num_vertices <= 1:
+        return True
+    count, _ = connected_components(graph)
+    return count == 1
+
+
+def diameter_estimate(graph: Graph, num_probes: int = 8, seed=None) -> int:
+    """Lower bound on the diameter via double-sweep probes."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    rng = check_random_state(seed)
+    best = 0
+    for _ in range(num_probes):
+        start = int(rng.integers(n))
+        dist = bfs_distances(graph, start)
+        reachable = np.nonzero(dist != UNREACHED)[0]
+        far = reachable[np.argmax(dist[reachable])]
+        dist2 = bfs_distances(graph, int(far))
+        finite = dist2[dist2 != UNREACHED]
+        if len(finite):
+            best = max(best, int(finite.max()))
+    return best
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``2m / (n (n - 1))``."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def triangle_count_estimate(graph: Graph, sample: Optional[int] = None,
+                            seed=None) -> int:
+    """Count triangles (exactly, or scaled from a vertex sample).
+
+    Used by workload sanity checks to confirm the clustered generators
+    actually produce triangles.
+    """
+    n = graph.num_vertices
+    rng = check_random_state(seed)
+    if sample is None or sample >= n:
+        vertices = np.arange(n)
+        scale = 1.0
+    else:
+        vertices = rng.choice(n, size=sample, replace=False)
+        scale = n / sample
+    total = 0
+    for v in vertices:
+        neighbors = graph.neighbors(int(v))
+        if len(neighbors) < 2:
+            continue
+        neighbor_set = set(int(x) for x in neighbors)
+        for w in neighbors:
+            if w <= v:
+                continue
+            for x in graph.neighbors(int(w)):
+                if x > w and int(x) in neighbor_set:
+                    total += 1
+    return int(round(total * scale))

@@ -1,0 +1,20 @@
+"""Workloads: the twelve dataset stand-ins plus query sampling."""
+
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    small_dataset_names,
+)
+from .queries import default_num_pairs, sample_pairs
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "small_dataset_names",
+    "sample_pairs",
+    "default_num_pairs",
+]

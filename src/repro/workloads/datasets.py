@@ -1,0 +1,201 @@
+"""Synthetic stand-ins for the paper's twelve evaluation datasets.
+
+The paper evaluates on real networks from 0.3M to 7.8B edges (Table 1).
+Those are multi-gigabyte downloads, unavailable offline and out of
+reach for pure Python, so each dataset is replaced by a seeded
+generator configured to match the *structural* features the paper's
+analysis leans on:
+
+* heavy-tailed degree distributions (landmark/pair coverage, Figure 8),
+* hub dominance (max degree orders of magnitude above the mean — the
+  sparsification effect of §6.5),
+* clustering for the co-authorship/web graphs,
+* even degree distributions for Orkut/Friendster (the datasets where
+  the paper notes landmarks capture few shortest paths),
+* small diameters throughout, with ClueWeb09 the slowest-mixing.
+
+Every stand-in is deterministic (fixed seed), connected (largest
+component), and sized so the full benchmark suite runs on a laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..errors import ReproError
+from ..graph.csr import Graph
+from ..graph.generators import (
+    barabasi_albert,
+    chung_lu,
+    largest_connected_component,
+    powerlaw_cluster,
+    star_overlay,
+    watts_strogatz,
+)
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_names",
+           "small_dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One stand-in dataset: identity, provenance, and its generator."""
+
+    name: str
+    abbrev: str
+    network_type: str
+    paper_vertices: str
+    paper_edges: str
+    description: str
+    seed: int
+    factory: Callable[[int], Graph]
+
+    def build(self) -> Graph:
+        """Generate the graph (deterministic for the stored seed)."""
+        graph = self.factory(self.seed)
+        return largest_connected_component(graph)
+
+
+def _douban(seed: int) -> Graph:
+    # Sparse social network, mild hubs (max deg 287 at 0.2M vertices).
+    return chung_lu(2500, exponent=2.8, min_degree=2.2, max_degree=90,
+                    seed=seed)
+
+
+def _dblp(seed: int) -> Graph:
+    # Co-authorship: strong clustering, power-law degrees.
+    return powerlaw_cluster(3000, m=3, triangle_p=0.45, seed=seed)
+
+
+def _youtube(seed: int) -> Graph:
+    # Social with extreme hubs (max deg 28k >> avg 5.3).
+    base = barabasi_albert(6000, m=2, seed=seed)
+    return star_overlay(base, num_hubs=3, spokes_per_hub=900, seed=seed + 1)
+
+
+def _wikitalk(seed: int) -> Graph:
+    # Communication graph: very sparse, a handful of enormous hubs.
+    base = chung_lu(7000, exponent=2.9, min_degree=1.6, max_degree=60,
+                    seed=seed)
+    return star_overlay(base, num_hubs=5, spokes_per_hub=1400,
+                        seed=seed + 1)
+
+
+def _skitter(seed: int) -> Graph:
+    # Internet topology: heavy tail, higher average degree.
+    return chung_lu(5000, exponent=2.15, min_degree=3.5, max_degree=400,
+                    seed=seed)
+
+
+def _baidu(seed: int) -> Graph:
+    # Web graph with hub pages.
+    base = barabasi_albert(6000, m=6, seed=seed)
+    return star_overlay(base, num_hubs=3, spokes_per_hub=1100,
+                        seed=seed + 1)
+
+
+def _livejournal(seed: int) -> Graph:
+    # Large social network, moderately heavy tail.
+    return chung_lu(9000, exponent=2.4, min_degree=5.5, max_degree=500,
+                    seed=seed)
+
+
+def _orkut(seed: int) -> Graph:
+    # Dense social network with *evenly* distributed degrees — the
+    # regime where the paper observes extra landmarks stop helping
+    # (§6.4.3).
+    return watts_strogatz(8000, k=20, p=0.12, seed=seed)
+
+
+def _twitter(seed: int) -> Graph:
+    # Dense + extreme hubs (max degree 3M in the paper); the dataset
+    # with the largest size(Δ) in Table 3.
+    base = barabasi_albert(12000, m=8, seed=seed)
+    return star_overlay(base, num_hubs=5, spokes_per_hub=2500,
+                        seed=seed + 1)
+
+
+def _friendster(seed: int) -> Graph:
+    # High average degree but *no* dominant hubs (max deg 5214 at 65M
+    # vertices) — the paper's lowest pair-coverage dataset.
+    return watts_strogatz(14000, k=12, p=0.25, seed=seed)
+
+
+def _uk2007(seed: int) -> Graph:
+    # Web crawl: clustered, power-law, high average degree.
+    return powerlaw_cluster(15000, m=6, triangle_p=0.35, seed=seed)
+
+
+def _clueweb(seed: int) -> Graph:
+    # The largest dataset: sparse (avg deg 9.3), giant hubs, and the
+    # largest average distance (7.5) of Table 1.
+    base = chung_lu(20000, exponent=3.0, min_degree=1.8, max_degree=50,
+                    seed=seed)
+    return star_overlay(base, num_hubs=4, spokes_per_hub=2200,
+                        seed=seed + 1)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("douban", "DO", "social", "0.2M", "0.3M",
+                    "sparse social network", 101, _douban),
+        DatasetSpec("dblp", "DB", "co-authorship", "0.3M", "1.1M",
+                    "clustered co-authorship network", 102, _dblp),
+        DatasetSpec("youtube", "YT", "social", "1.1M", "3.0M",
+                    "social network with extreme hubs", 103, _youtube),
+        DatasetSpec("wikitalk", "WK", "communication", "2.4M", "5.0M",
+                    "hub-dominated communication graph", 104, _wikitalk),
+        DatasetSpec("skitter", "SK", "computer", "1.7M", "11.1M",
+                    "internet topology", 105, _skitter),
+        DatasetSpec("baidu", "BA", "web", "2.1M", "17.8M",
+                    "web graph with hub pages", 106, _baidu),
+        DatasetSpec("livejournal", "LJ", "social", "4.8M", "68.5M",
+                    "large social network", 107, _livejournal),
+        DatasetSpec("orkut", "OR", "social", "3.1M", "117M",
+                    "dense social network, even degrees", 108, _orkut),
+        DatasetSpec("twitter", "TW", "social", "41.7M", "1.5B",
+                    "dense social network, extreme hubs", 109, _twitter),
+        DatasetSpec("friendster", "FR", "social", "65.6M", "1.8B",
+                    "dense social network, no dominant hubs", 110,
+                    _friendster),
+        DatasetSpec("uk2007", "UK", "web", "106M", "3.7B",
+                    "large web crawl", 111, _uk2007),
+        DatasetSpec("clueweb09", "CW", "computer", "1.7B", "7.8B",
+                    "largest dataset; sparse with giant hubs", 112,
+                    _clueweb),
+    )
+}
+
+#: Datasets small enough for the quadratic-ish baselines. Mirrors the
+#: paper: PPL finished on the 5 smallest, ParentPPL on the 2 smallest.
+_SMALL = ("douban", "dblp", "youtube", "wikitalk", "skitter")
+
+_CACHE: Dict[str, Graph] = {}
+
+
+def dataset_names() -> List[str]:
+    """All stand-in names, in the paper's Table 1 order."""
+    return list(DATASETS)
+
+
+def small_dataset_names() -> List[str]:
+    """The stand-ins on which PPL-style baselines are attempted."""
+    return list(_SMALL)
+
+
+def load_dataset(name: str, cache: bool = True) -> Graph:
+    """Build (or fetch from the in-process cache) one stand-in graph."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    if cache and name in _CACHE:
+        return _CACHE[name]
+    graph = spec.build()
+    if cache:
+        _CACHE[name] = graph
+    return graph

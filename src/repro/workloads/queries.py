@@ -1,0 +1,46 @@
+"""Query workload sampling.
+
+The paper evaluates query time on 10,000 uniformly sampled vertex
+pairs per dataset (§6.1, Figure 7). We reproduce the methodology at a
+scale proportional to our stand-in sizes; sampling is seeded so every
+bench and test sees identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .._util import check_random_state
+from ..errors import ReproError
+from ..graph.csr import Graph
+
+__all__ = ["sample_pairs", "default_num_pairs"]
+
+
+def default_num_pairs(graph: Graph) -> int:
+    """Workload size scaled to the graph (paper uses a flat 10,000)."""
+    return int(min(2000, max(200, graph.num_vertices // 10)))
+
+
+def sample_pairs(graph: Graph, count: int, seed=0,
+                 distinct_endpoints: bool = True
+                 ) -> List[Tuple[int, int]]:
+    """Sample ``count`` random vertex pairs, seeded.
+
+    Pairs are drawn uniformly (with replacement across pairs, as in the
+    paper); ``distinct_endpoints`` rejects ``u == v`` draws.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise ReproError("need at least two vertices to sample pairs")
+    rng = check_random_state(seed)
+    pairs: List[Tuple[int, int]] = []
+    while len(pairs) < count:
+        block = rng.integers(0, n, size=(count, 2))
+        for u, v in block:
+            if distinct_endpoints and u == v:
+                continue
+            pairs.append((int(u), int(v)))
+            if len(pairs) == count:
+                break
+    return pairs

@@ -1,0 +1,133 @@
+"""Analysis layer: distance histograms, coverage, size reports."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, QbSIndex
+from repro.analysis import (
+    dataset_statistics,
+    distance_distribution,
+    pair_coverage,
+    pair_distances,
+    qbs_size_report,
+)
+from repro.graph import erdos_renyi, path_graph
+
+
+class TestPairDistances:
+    def test_exact_values(self):
+        g = path_graph(5)
+        pairs = [(0, 4), (1, 3), (2, 2), (4, 0)]
+        assert pair_distances(g, pairs) == [4, 2, 0, 4]
+
+    def test_disconnected_is_none(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert pair_distances(g, [(0, 3)]) == [None]
+
+    def test_matches_bfs_per_pair(self):
+        from repro.baselines.oracle import distance_oracle
+
+        g = erdos_renyi(50, 0.08, seed=7)
+        rng = np.random.default_rng(0)
+        pairs = [(int(rng.integers(50)), int(rng.integers(50)))
+                 for _ in range(30)]
+        got = pair_distances(g, pairs)
+        want = [distance_oracle(g, u, v) for u, v in pairs]
+        assert got == want
+
+
+class TestDistanceDistribution:
+    def test_fractions_sum_to_connected_share(self):
+        g = path_graph(6)
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 5)]
+        hist = distance_distribution(g, pairs)
+        assert sum(hist.fractions().values()) == pytest.approx(1.0)
+        assert hist.total == 4
+
+    def test_mean_mode_max(self):
+        g = path_graph(10)
+        pairs = [(0, 2), (0, 2), (0, 5)]
+        hist = distance_distribution(g, pairs)
+        assert hist.mode() == 2
+        assert hist.max_distance() == 5
+        assert hist.mean() == pytest.approx((2 + 2 + 5) / 3)
+
+    def test_disconnected_counted(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        hist = distance_distribution(g, [(0, 1), (0, 2)])
+        assert hist.disconnected == 1
+        assert hist.fraction(1) == 0.5
+
+
+class TestPairCoverage:
+    def test_all_through_landmark(self):
+        """Star through the landmark: every path is covered."""
+        g = Graph.from_edges([(1, 0), (0, 2)])
+        index = QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+        report = pair_coverage(index, [(1, 2)])
+        assert report.all_through_landmarks == 1
+        assert report.covered_ratio == 1.0
+
+    def test_partial_coverage(self):
+        """Tied landmark and non-landmark routes: case (ii)."""
+        g = Graph.from_edges([(1, 0), (0, 2), (1, 3), (3, 2)])
+        index = QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+        report = pair_coverage(index, [(1, 2)])
+        assert report.some_through_landmarks == 1
+        assert report.full_ratio == 0.0
+
+    def test_uncovered(self):
+        """Landmark on a detour: sketch cannot guide."""
+        g = Graph.from_edges([(1, 2), (2, 3), (1, 0), (0, 4), (4, 3)])
+        index = QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+        report = pair_coverage(index, [(1, 3)])
+        assert report.uncovered == 1
+        assert report.covered_ratio == 0.0
+
+    def test_landmark_endpoint_counted_as_covered(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        index = QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+        report = pair_coverage(index, [(0, 2)])
+        assert report.landmark_endpoint == 1
+        assert report.covered_ratio == 1.0
+
+    def test_disconnected_excluded(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=5)
+        index = QbSIndex.build(g, landmarks=np.array([1], dtype=np.int32))
+        report = pair_coverage(index, [(0, 4)])
+        assert report.total == 0
+        assert report.disconnected == 1
+
+    def test_more_landmarks_never_reduce_coverage(self):
+        """The Figure 8 trend on a hub graph."""
+        from repro.graph import barabasi_albert
+        from repro.workloads import sample_pairs
+
+        g = barabasi_albert(300, 2, seed=9)
+        pairs = sample_pairs(g, 120, seed=10)
+        previous = -1.0
+        for count in (2, 8, 24):
+            index = QbSIndex.build(g, num_landmarks=count)
+            ratio = pair_coverage(index, pairs).covered_ratio
+            assert ratio >= previous - 0.02  # tiny sampling slack
+            previous = ratio
+
+
+class TestSizeReports:
+    def test_qbs_report_consistent(self):
+        g = erdos_renyi(80, 0.1, seed=11)
+        index = QbSIndex.build(g, num_landmarks=6)
+        report = qbs_size_report(index)
+        assert report.label_bytes == 80 * 6
+        assert report.delta_bytes == index.meta_graph.delta_total_edges() * 8
+        assert report.total_bytes == (report.label_bytes
+                                      + report.delta_bytes
+                                      + report.meta_bytes)
+
+    def test_dataset_statistics_keys(self):
+        g = erdos_renyi(40, 0.2, seed=13)
+        stats = dataset_statistics(g)
+        assert stats["num_vertices"] == 40
+        assert stats["num_edges"] == g.num_edges
+        assert stats["size_bytes"] == g.paper_size_bytes()
+        assert stats["avg_distance"] > 0

@@ -1,0 +1,219 @@
+"""Application-layer tests: interdiction, rerouting, common links."""
+
+import pytest
+
+from repro import Graph, QbSIndex, spg_oracle
+from repro.applications import (
+    analyze_interdiction,
+    common_links,
+    common_vertices,
+    is_shortest_path_of,
+    reconfiguration_components,
+    rerouting_sequence,
+    single_swap_neighbors,
+    tie_profile,
+    vertex_path_counts,
+)
+
+
+@pytest.fixture
+def chain_spg():
+    g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    return spg_oracle(g, 0, 3)
+
+
+@pytest.fixture
+def diamond_spg():
+    g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    return spg_oracle(g, 0, 3)
+
+
+@pytest.fixture
+def bowtie_spg():
+    """Two diamonds joined by a mandatory middle edge."""
+    g = Graph.from_edges([
+        (0, 1), (0, 2), (1, 3), (2, 3),
+        (3, 4),
+        (4, 5), (4, 6), (5, 7), (6, 7),
+    ])
+    return spg_oracle(g, 0, 7)
+
+
+class TestInterdiction:
+    def test_chain_everything_critical(self, chain_spg):
+        report = analyze_interdiction(chain_spg)
+        assert report.total_paths == 1
+        assert report.critical_edges == chain_spg.edges
+        assert report.critical_vertices == {1, 2}
+        assert report.is_interdictable_by_one_edge
+
+    def test_diamond_nothing_critical(self, diamond_spg):
+        report = analyze_interdiction(diamond_spg)
+        assert report.total_paths == 2
+        assert report.critical_edges == set()
+        assert report.critical_vertices == set()
+        assert not report.is_interdictable_by_one_edge
+
+    def test_bowtie_bridge_critical(self, bowtie_spg):
+        report = analyze_interdiction(bowtie_spg)
+        assert report.total_paths == 4
+        assert report.critical_edges == {(3, 4)}
+        assert report.critical_vertices == {3, 4}
+        assert report.best_edge() == (3, 4)
+        assert report.best_vertex() in (3, 4)
+
+    def test_coverage_fractions(self, diamond_spg):
+        report = analyze_interdiction(diamond_spg)
+        assert all(c == pytest.approx(0.5)
+                   for c in report.edge_coverage.values())
+
+    def test_interdiction_verified_by_removal(self, bowtie_spg):
+        """Removing the critical edge must actually break the pair."""
+        g = Graph.from_edges([
+            (0, 1), (0, 2), (1, 3), (2, 3), (3, 4),
+            (4, 5), (4, 6), (5, 7), (6, 7),
+        ])
+        edges = [e for e in g.edges() if e != (3, 4)]
+        pruned = Graph.from_edges(edges, num_vertices=g.num_vertices)
+        assert spg_oracle(pruned, 0, 7).distance is None
+
+    def test_rejects_degenerate(self):
+        from repro.core.spg import ShortestPathGraph
+
+        with pytest.raises(ValueError):
+            analyze_interdiction(ShortestPathGraph.empty(0, 1))
+        with pytest.raises(ValueError):
+            analyze_interdiction(ShortestPathGraph.trivial(0))
+
+    def test_vertex_path_counts(self, bowtie_spg):
+        counts = vertex_path_counts(bowtie_spg)
+        assert counts[0] == 4        # source carries all paths
+        assert counts[3] == 4        # bridge endpoint too
+        assert counts[1] == 2        # each diamond arm carries half
+
+
+class TestCommonLinks:
+    def test_chain(self, chain_spg):
+        assert common_links(chain_spg) == chain_spg.edges
+        assert common_vertices(chain_spg) == {1, 2}
+
+    def test_diamond(self, diamond_spg):
+        assert common_links(diamond_spg) == set()
+        assert common_vertices(diamond_spg) == set()
+
+    def test_bowtie(self, bowtie_spg):
+        assert common_links(bowtie_spg) == {(3, 4)}
+        assert common_vertices(bowtie_spg) == {3, 4}
+
+
+class TestTieProfile:
+    def test_fragile_chain(self, chain_spg):
+        profile = tie_profile(chain_spg)
+        assert profile.is_fragile
+        assert profile.redundancy == pytest.approx(1.0)
+        assert profile.has_bottleneck_edge
+
+    def test_braided_diamond(self, diamond_spg):
+        profile = tie_profile(diamond_spg)
+        assert not profile.is_fragile
+        assert profile.num_paths == 2
+        assert not profile.has_bottleneck_edge
+
+    def test_strength_ordering(self, chain_spg, diamond_spg):
+        assert tie_profile(diamond_spg).strength > \
+            tie_profile(chain_spg).strength
+
+    def test_trivial(self):
+        from repro.core.spg import ShortestPathGraph
+
+        profile = tie_profile(ShortestPathGraph.trivial(4))
+        assert profile.distance == 0
+
+    def test_disconnected_rejected(self):
+        from repro.core.spg import ShortestPathGraph
+
+        with pytest.raises(ValueError):
+            tie_profile(ShortestPathGraph.empty(0, 1))
+
+
+class TestRerouting:
+    def test_is_shortest_path_of(self, diamond_spg):
+        assert is_shortest_path_of(diamond_spg, (0, 1, 3))
+        assert is_shortest_path_of(diamond_spg, (0, 2, 3))
+        assert not is_shortest_path_of(diamond_spg, (0, 3))
+        assert not is_shortest_path_of(diamond_spg, (0, 1, 2))
+
+    def test_single_swap_neighbors(self, diamond_spg):
+        neighbors = set(single_swap_neighbors(diamond_spg, (0, 1, 3)))
+        assert neighbors == {(0, 2, 3)}
+
+    def test_sequence_in_diamond(self, diamond_spg):
+        sequence = rerouting_sequence(diamond_spg, (0, 1, 3), (0, 2, 3))
+        assert sequence == [(0, 1, 3), (0, 2, 3)]
+
+    def test_sequence_to_self(self, diamond_spg):
+        sequence = rerouting_sequence(diamond_spg, (0, 1, 3), (0, 1, 3))
+        assert sequence == [(0, 1, 3)]
+
+    def test_disconnected_solution_space(self):
+        """Two vertex-disjoint length-3 paths cannot be swapped one
+        vertex at a time."""
+        g = Graph.from_edges([
+            (0, 1), (1, 2), (2, 5),
+            (0, 3), (3, 4), (4, 5),
+        ])
+        spg = spg_oracle(g, 0, 5)
+        sequence = rerouting_sequence(spg, (0, 1, 2, 5), (0, 3, 4, 5))
+        assert sequence is None
+
+    def test_invalid_path_rejected(self, diamond_spg):
+        with pytest.raises(ValueError):
+            rerouting_sequence(diamond_spg, (0, 9, 3), (0, 2, 3))
+
+    def test_components(self):
+        g = Graph.from_edges([
+            (0, 1), (1, 2), (2, 5),
+            (0, 3), (3, 4), (4, 5),
+        ])
+        spg = spg_oracle(g, 0, 5)
+        components = reconfiguration_components(spg)
+        assert len(components) == 2
+
+    def test_components_limit(self, diamond_spg):
+        with pytest.raises(ValueError):
+            reconfiguration_components(diamond_spg, limit=1)
+
+    def test_multi_step_sequence(self):
+        """A ladder where rerouting needs several swaps."""
+        g = Graph.from_edges([
+            (0, 1), (0, 2), (1, 3), (2, 3),
+            (3, 4), (3, 5), (4, 6), (5, 6),
+        ])
+        spg = spg_oracle(g, 0, 6)
+        sequence = rerouting_sequence(spg, (0, 1, 3, 4, 6),
+                                      (0, 2, 3, 5, 6))
+        assert sequence is not None
+        assert len(sequence) == 3
+        for a, b in zip(sequence, sequence[1:]):
+            differs = sum(x != y for x, y in zip(a, b))
+            assert differs == 1
+
+
+class TestEndToEndWithQbS:
+    def test_pipeline_on_real_workload(self):
+        from repro.workloads import load_dataset, sample_pairs
+
+        graph = load_dataset("douban")
+        index = QbSIndex.build(graph, num_landmarks=20)
+        analyzed = 0
+        for u, v in sample_pairs(graph, 40, seed=21):
+            spg = index.query(u, v)
+            if spg.distance in (None, 0):
+                continue
+            report = analyze_interdiction(spg)
+            profile = tie_profile(spg)
+            assert report.total_paths == profile.num_paths
+            assert (profile.has_bottleneck_edge
+                    == bool(report.critical_edges))
+            analyzed += 1
+        assert analyzed > 20

@@ -1,0 +1,74 @@
+"""Naive labelling and Bi-BFS baseline tests."""
+
+import pytest
+
+from repro import BiBFS, BudgetExceededError, Graph, spg_oracle
+from repro._util import TimeBudget
+from repro.baselines import NaiveLabelling
+
+from conftest import random_graph_corpus, sample_vertex_pairs
+
+
+class TestNaiveLabelling:
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=500, count=10)))
+    def test_differential(self, label, graph):
+        if graph.num_vertices < 2:
+            pytest.skip("too small")
+        index = NaiveLabelling.build(graph)
+        for u, v in sample_vertex_pairs(graph, 8, seed=61):
+            assert index.query(u, v) == spg_oracle(graph, u, v), \
+                f"{label} ({u},{v})"
+
+    def test_distance(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        index = NaiveLabelling.build(graph)
+        assert index.distance(0, 2) == 2
+        assert index.distance(1, 1) == 0
+
+    def test_disconnected_distance(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        index = NaiveLabelling.build(graph)
+        assert index.distance(0, 3) is None
+
+    def test_size_guard(self):
+        """The OOE wall: refuses quadratic matrices on big graphs."""
+        graph = Graph.empty(NaiveLabelling.MAX_VERTICES + 1)
+        with pytest.raises(BudgetExceededError) as info:
+            NaiveLabelling.build(graph)
+        assert info.value.kind == "memory"
+
+    def test_budget_dnf(self):
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(500, 0.02, seed=63)
+        with pytest.raises(BudgetExceededError):
+            NaiveLabelling.build(graph, budget=TimeBudget(1e-9, label="x"))
+
+    def test_entry_count(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        index = NaiveLabelling.build(graph)
+        assert index.num_entries() == 9  # all pairs incl. self
+
+
+class TestBiBFS:
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=510, count=10)))
+    def test_differential(self, label, graph):
+        if graph.num_vertices < 2:
+            pytest.skip("too small")
+        baseline = BiBFS(graph)
+        for u, v in sample_vertex_pairs(graph, 10, seed=65):
+            assert baseline.query(u, v) == spg_oracle(graph, u, v), \
+                f"{label} ({u},{v})"
+
+    def test_stats(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        baseline = BiBFS(graph)
+        spg, stats = baseline.query_with_stats(0, 3)
+        assert spg.distance == 3
+        assert stats.edges_traversed > 0
+
+    def test_distance(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        assert BiBFS(graph).distance(0, 2) == 2

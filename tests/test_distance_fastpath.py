@@ -1,0 +1,49 @@
+"""Distance-only fast path: must agree with the full query exactly."""
+
+import numpy as np
+import pytest
+
+from repro import QbSIndex, spg_oracle
+from repro.graph import erdos_renyi
+
+from conftest import random_graph_corpus, sample_vertex_pairs
+
+
+class TestDistanceFastPath:
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=600, count=15)))
+    def test_matches_oracle(self, label, graph):
+        if graph.num_vertices < 3:
+            pytest.skip("too small")
+        index = QbSIndex.build(graph, num_landmarks=3)
+        for u, v in sample_vertex_pairs(graph, 15, seed=71):
+            expected = spg_oracle(graph, u, v).distance
+            assert index.distance(u, v) == expected, f"{label} ({u},{v})"
+
+    def test_landmark_endpoint(self):
+        graph = erdos_renyi(40, 0.15, seed=3)
+        index = QbSIndex.build(graph, num_landmarks=4)
+        landmark = int(index.landmarks[0])
+        expected = spg_oracle(graph, landmark, 7).distance
+        assert index.distance(landmark, 7) == expected
+
+    def test_self(self):
+        graph = erdos_renyi(10, 0.4, seed=5)
+        index = QbSIndex.build(graph, num_landmarks=2)
+        assert index.distance(3, 3) == 0
+
+    def test_disconnected(self):
+        from repro import Graph
+
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        index = QbSIndex.build(graph, num_landmarks=1)
+        assert index.distance(0, 3) is None
+
+    def test_query_many(self):
+        graph = erdos_renyi(30, 0.2, seed=7)
+        index = QbSIndex.build(graph, num_landmarks=3)
+        pairs = sample_vertex_pairs(graph, 6, seed=73)
+        results = index.query_many(pairs)
+        assert len(results) == 6
+        for (u, v), spg in zip(pairs, results):
+            assert spg == index.query(u, v)

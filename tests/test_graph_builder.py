@@ -1,0 +1,102 @@
+"""Unit tests for edge normalization and the incremental builder."""
+
+import numpy as np
+import pytest
+
+from repro import GraphBuilder, GraphValidationError, build_graph
+
+
+class TestBuildGraph:
+    def test_accepts_list_of_pairs(self):
+        g = build_graph([(0, 1), (2, 1)])
+        assert g.num_edges == 2
+
+    def test_accepts_numpy_array(self):
+        g = build_graph(np.array([[0, 1], [1, 2]]))
+        assert g.num_edges == 2
+
+    def test_accepts_two_arrays(self):
+        g = build_graph((np.array([0, 1]), np.array([1, 2])))
+        assert g.num_edges == 2
+
+    def test_accepts_generator(self):
+        g = build_graph((i, i + 1) for i in range(4))
+        assert g.num_edges == 4
+
+    def test_empty_input(self):
+        g = build_graph([])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_empty_input_with_vertex_count(self):
+        g = build_graph([], num_vertices=3)
+        assert g.num_vertices == 3
+
+    def test_symmetrization(self):
+        g = build_graph([(2, 0)])
+        assert g.has_edge(0, 2)
+        assert list(g.neighbors(0)) == [2]
+        assert list(g.neighbors(2)) == [0]
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphValidationError):
+            build_graph([(0, -1)])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphValidationError):
+            build_graph((np.array([0, 1]), np.array([1])))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphValidationError):
+            build_graph(np.array([[0, 1, 2]]))
+
+    def test_too_small_vertex_count_rejected(self):
+        with pytest.raises(GraphValidationError):
+            build_graph([(0, 5)], num_vertices=3)
+
+    def test_rows_sorted_after_build(self):
+        g = build_graph([(0, 5), (0, 2), (0, 9), (0, 1)])
+        assert list(g.neighbors(0)) == [1, 2, 5, 9]
+
+    def test_large_ids(self):
+        g = build_graph([(0, 100000)])
+        assert g.num_vertices == 100001
+        assert g.num_edges == 1
+
+
+class TestGraphBuilder:
+    def test_add_edge_chaining(self):
+        g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_edges == 2
+
+    def test_add_edges(self):
+        g = GraphBuilder().add_edges([(0, 1), (1, 2)]).build()
+        assert g.num_edges == 2
+
+    def test_add_path(self):
+        g = GraphBuilder().add_path([0, 1, 2, 3]).build()
+        assert set(g.edges()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_add_cycle(self):
+        g = GraphBuilder().add_cycle([0, 1, 2, 3]).build()
+        assert set(g.edges()) == {(0, 1), (0, 3), (1, 2), (2, 3)}
+
+    def test_add_cycle_of_two_is_single_edge(self):
+        g = GraphBuilder().add_cycle([0, 1]).build()
+        assert set(g.edges()) == {(0, 1)}
+
+    def test_add_clique(self):
+        g = GraphBuilder().add_clique([0, 1, 2]).build()
+        assert g.num_edges == 3
+
+    def test_num_queued(self):
+        b = GraphBuilder().add_path([0, 1, 2])
+        assert b.num_queued == 2
+
+    def test_builder_with_vertex_count(self):
+        g = GraphBuilder(num_vertices=10).add_edge(0, 1).build()
+        assert g.num_vertices == 10
+
+    def test_duplicates_normalized_at_build(self):
+        g = GraphBuilder().add_edge(0, 1).add_edge(1, 0).build()
+        assert g.num_edges == 1

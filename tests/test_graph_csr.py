@@ -1,0 +1,187 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, GraphValidationError, VertexError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_empty_graph_zero_vertices(self):
+        g = Graph.empty(0)
+        assert g.num_vertices == 0
+
+    def test_empty_negative_raises(self):
+        with pytest.raises(GraphValidationError):
+            Graph.empty(-1)
+
+    def test_self_loops_dropped(self):
+        g = Graph.from_edges([(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+
+    def test_parallel_edges_collapsed(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_num_vertices_override(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_from_raw_csr_validates(self):
+        indptr = np.array([0, 1, 2])
+        indices = np.array([1, 0])
+        g = Graph(indptr, indices)
+        assert g.num_edges == 1
+
+    def test_invalid_indptr_start(self):
+        with pytest.raises(GraphValidationError):
+            Graph(np.array([1, 2]), np.array([0]))
+
+    def test_invalid_indptr_end(self):
+        with pytest.raises(GraphValidationError):
+            Graph(np.array([0, 5]), np.array([0]))
+
+    def test_indptr_not_monotone(self):
+        with pytest.raises(GraphValidationError):
+            Graph(np.array([0, 2, 1, 3]), np.array([1, 2, 0]))
+
+    def test_index_out_of_range(self):
+        with pytest.raises(GraphValidationError):
+            Graph(np.array([0, 1, 2]), np.array([1, 5]))
+
+    def test_self_loop_rejected_in_raw_csr(self):
+        with pytest.raises(GraphValidationError):
+            Graph(np.array([0, 1, 2]), np.array([0, 0]))
+
+    def test_unsorted_row_rejected(self):
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([2, 1, 0, 0])
+        with pytest.raises(GraphValidationError):
+            Graph(indptr, indices)
+
+
+class TestAccessors:
+    @pytest.fixture
+    def g(self):
+        return Graph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+
+    def test_degree_scalar(self, g):
+        assert g.degree(2) == 3
+        assert g.degree(3) == 1
+
+    def test_degree_array(self, g):
+        assert list(g.degree()) == [2, 2, 3, 1]
+
+    def test_neighbors_sorted(self, g):
+        assert list(g.neighbors(2)) == [0, 1, 3]
+
+    def test_neighbors_bad_vertex(self, g):
+        with pytest.raises(VertexError):
+            g.neighbors(99)
+
+    def test_vertex_error_is_index_error(self, g):
+        with pytest.raises(IndexError):
+            g.neighbors(-1)
+
+    def test_has_edge(self, g):
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+
+    def test_edges_iteration_normalized(self, g):
+        edges = list(g.edges())
+        assert edges == sorted(edges)
+        assert all(u < v for u, v in edges)
+        assert len(edges) == g.num_edges
+
+    def test_edge_array_matches_edges(self, g):
+        array_edges = {tuple(e) for e in g.edge_array().tolist()}
+        assert array_edges == set(g.edges())
+
+    def test_num_directed_edges(self, g):
+        assert g.num_directed_edges == 2 * g.num_edges
+
+    def test_arrays_read_only(self, g):
+        with pytest.raises(ValueError):
+            g.indptr[0] = 1
+        with pytest.raises(ValueError):
+            g.indices[0] = 1
+
+    def test_repr(self, g):
+        assert "num_vertices=4" in repr(g)
+        assert "num_edges=4" in repr(g)
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+
+    def test_unequal_graphs(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(0, 1), (1, 2)])
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert Graph.from_edges([(0, 1)]) != "graph"
+
+
+class TestRemoveVertices:
+    def test_remove_keeps_ids(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        sparsified = g.remove_vertices([1])
+        assert sparsified.num_vertices == 4
+        assert sparsified.degree(1) == 0
+        assert sparsified.has_edge(2, 3)
+        assert not sparsified.has_edge(0, 1)
+
+    def test_remove_multiple(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        sparsified = g.remove_vertices([0, 2])
+        assert set(sparsified.edges()) == {(3, 4)}
+
+    def test_remove_nothing(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.remove_vertices([]) == g
+
+    def test_remove_bad_vertex(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(VertexError):
+            g.remove_vertices([7])
+
+    def test_original_untouched(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_vertices([1])
+        assert g.num_edges == 2
+
+
+class TestSizeAccounting:
+    def test_paper_size_is_8_bytes_per_arc(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert g.paper_size_bytes() == 8 * 6
+
+    def test_nbytes_positive(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.nbytes() > 0
+
+
+class TestSubgraphEdges:
+    def test_subgraph_on_same_vertex_set(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph_edges([(0, 1)])
+        assert sub.num_vertices == g.num_vertices
+        assert set(sub.edges()) == {(0, 1)}

@@ -1,0 +1,215 @@
+"""Generator sanity: determinism, shape, structural properties."""
+
+import numpy as np
+import pytest
+
+from repro import GraphValidationError
+from repro.graph import (
+    barabasi_albert,
+    chung_lu,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    largest_connected_component,
+    path_graph,
+    powerlaw_cluster,
+    star_overlay,
+    stochastic_block,
+    watts_strogatz,
+)
+from repro.graph.ops import is_connected, triangle_count_estimate
+
+
+class TestDeterministicShapes:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_path_graph_single_vertex(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_path_graph_invalid(self):
+        with pytest.raises(GraphValidationError):
+            path_graph(0)
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphValidationError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in range(5))
+
+    def test_grid_2d(self):
+        g = grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert g.degree(0) == 2          # corner
+        assert is_connected(g)
+
+    def test_grid_invalid(self):
+        with pytest.raises(GraphValidationError):
+            grid_2d(0, 4)
+
+
+class TestErdosRenyi:
+    def test_deterministic_with_seed(self):
+        assert erdos_renyi(50, 0.1, seed=3) == erdos_renyi(50, 0.1, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi(50, 0.1, seed=3) != erdos_renyi(50, 0.1, seed=4)
+
+    def test_p_zero(self):
+        assert erdos_renyi(10, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(8, 1.0, seed=1)
+        assert g.num_edges == 28
+
+    def test_bad_p(self):
+        with pytest.raises(GraphValidationError):
+            erdos_renyi(10, 1.5)
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.1
+        g = erdos_renyi(n, p, seed=11)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+
+class TestBarabasiAlbert:
+    def test_vertex_and_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        assert g.num_vertices == 100
+        # (n - m) * m attachments, some may collapse as duplicates.
+        assert g.num_edges <= 97 * 3
+        assert g.num_edges > 90 * 3 * 0.8
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(200, 2, seed=5))
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 2, seed=7)
+        degrees = np.sort(g.degree())[::-1]
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_invalid_m(self):
+        with pytest.raises(GraphValidationError):
+            barabasi_albert(10, 0)
+        with pytest.raises(GraphValidationError):
+            barabasi_albert(5, 5)
+
+    def test_deterministic(self):
+        assert barabasi_albert(60, 2, seed=9) == barabasi_albert(60, 2,
+                                                                 seed=9)
+
+
+class TestWattsStrogatz:
+    def test_degree_regular_at_p_zero(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_even_degree_distribution(self):
+        g = watts_strogatz(500, 8, 0.2, seed=3)
+        degrees = g.degree()
+        assert degrees.max() < 3 * degrees.mean()
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphValidationError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(GraphValidationError):
+            watts_strogatz(10, 12, 0.1)
+
+    def test_deterministic(self):
+        assert watts_strogatz(40, 4, 0.3, seed=2) == \
+            watts_strogatz(40, 4, 0.3, seed=2)
+
+
+class TestChungLu:
+    def test_heavy_tail(self):
+        g = chung_lu(1000, exponent=2.2, min_degree=2, seed=1)
+        degrees = np.sort(g.degree())[::-1]
+        assert degrees[0] >= 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphValidationError):
+            chung_lu(100, exponent=0.9)
+
+    def test_deterministic(self):
+        assert chung_lu(100, seed=4) == chung_lu(100, seed=4)
+
+
+class TestPowerlawCluster:
+    def test_produces_triangles(self):
+        g = powerlaw_cluster(300, m=2, triangle_p=0.8, seed=2)
+        assert triangle_count_estimate(g) > 30
+
+    def test_connected(self):
+        assert is_connected(powerlaw_cluster(200, m=2, triangle_p=0.5,
+                                             seed=3))
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphValidationError):
+            powerlaw_cluster(10, m=0, triangle_p=0.5)
+        with pytest.raises(GraphValidationError):
+            powerlaw_cluster(10, m=2, triangle_p=1.5)
+
+
+class TestStochasticBlock:
+    def test_community_structure(self):
+        g = stochastic_block([50, 50], p_in=0.3, p_out=0.01, seed=5)
+        internal = external = 0
+        for u, v in g.edges():
+            if (u < 50) == (v < 50):
+                internal += 1
+            else:
+                external += 1
+        assert internal > 5 * max(external, 1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GraphValidationError):
+            stochastic_block([0, 10], 0.1, 0.1)
+
+
+class TestStarOverlay:
+    def test_creates_hubs(self):
+        base = erdos_renyi(500, 0.01, seed=8)
+        g = star_overlay(base, num_hubs=2, spokes_per_hub=200, seed=9)
+        degrees = np.sort(g.degree())[::-1]
+        assert degrees[1] >= 150
+
+    def test_preserves_vertex_count(self):
+        base = erdos_renyi(100, 0.05, seed=8)
+        g = star_overlay(base, num_hubs=1, spokes_per_hub=10, seed=9)
+        assert g.num_vertices == base.num_vertices
+
+    def test_invalid(self):
+        with pytest.raises(GraphValidationError):
+            star_overlay(erdos_renyi(10, 0.5, seed=1), 0, 5)
+
+
+class TestLargestConnectedComponent:
+    def test_already_connected(self):
+        g = cycle_graph(5)
+        assert largest_connected_component(g) == g
+
+    def test_picks_largest(self):
+        from repro import Graph
+
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4), (4, 2)])
+        lcc = largest_connected_component(g)
+        assert lcc.num_vertices == 3
+        assert lcc.num_edges == 3
+
+    def test_result_connected(self):
+        g = erdos_renyi(200, 0.008, seed=3)
+        assert is_connected(largest_connected_component(g))

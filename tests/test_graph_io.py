@@ -1,0 +1,97 @@
+"""Graph IO: edge-list text and npz binary round trips."""
+
+import io
+
+import pytest
+
+from repro import Graph, GraphFormatError
+from repro.graph import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import parse_edge_lines
+
+
+class TestParseEdgeLines:
+    def test_basic(self):
+        assert list(parse_edge_lines(["0 1", "1 2"])) == [(0, 1), (1, 2)]
+
+    def test_comments_skipped(self):
+        lines = ["# header", "% konect", "// note", "0 1"]
+        assert list(parse_edge_lines(lines)) == [(0, 1)]
+
+    def test_blank_lines_skipped(self):
+        assert list(parse_edge_lines(["", "  ", "0 1"])) == [(0, 1)]
+
+    def test_extra_columns_ignored(self):
+        assert list(parse_edge_lines(["0 1 3.5 1234567"])) == [(0, 1)]
+
+    def test_tabs(self):
+        assert list(parse_edge_lines(["0\t1"])) == [(0, 1)]
+
+    def test_single_column_raises(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            list(parse_edge_lines(["42"]))
+
+    def test_non_integer_raises(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            list(parse_edge_lines(["0 1", "a b"]))
+
+
+class TestEdgeListFiles:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(40, 0.2, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_round_trip_without_header(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header=False)
+        content = path.read_text()
+        assert not content.startswith("#")
+        assert read_edge_list(path) == g
+
+    def test_read_from_file_object(self):
+        handle = io.StringIO("0 1\n1 2\n")
+        g = read_edge_list(handle)
+        assert g.num_edges == 2
+
+    def test_read_directed_input_symmetrizes(self, tmp_path):
+        path = tmp_path / "directed.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_read_rejects_bad_argument(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(12345)
+
+    def test_num_vertices_override(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_vertices=7)
+        assert g.num_vertices == 7
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        g = erdos_renyi(60, 0.15, seed=2)
+        path = tmp_path / "graph.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        g = Graph.empty(5)
+        path = tmp_path / "empty.npz"
+        save_npz(g, path)
+        loaded = load_npz(path)
+        assert loaded.num_vertices == 5
+        assert loaded.num_edges == 0
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "foreign.npz"
+        np.savez_compressed(path, data=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)

@@ -1,0 +1,108 @@
+"""Whole-graph statistics cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro import Graph
+from repro.graph import (
+    average_distance_estimate,
+    degree_statistics,
+    density,
+    diameter_estimate,
+    is_connected,
+    top_degree_vertices,
+)
+from repro.graph.generators import barabasi_albert, cycle_graph, grid_2d
+from repro.graph.ops import triangle_count_estimate
+
+
+class TestDegreeStatistics:
+    def test_simple(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        stats = degree_statistics(g)
+        assert stats["max"] == 3
+        assert stats["min"] == 1
+        assert stats["mean"] == pytest.approx(1.5)
+
+    def test_empty(self):
+        stats = degree_statistics(Graph.empty(0))
+        assert stats["max"] == 0
+
+
+class TestTopDegreeVertices:
+    def test_order(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        top = top_degree_vertices(g, 2)
+        assert top[0] == 0
+        assert top[1] in (1, 2)
+
+    def test_deterministic_tie_break_by_id(self):
+        g = cycle_graph(6)  # all degrees equal
+        assert list(top_degree_vertices(g, 3)) == [0, 1, 2]
+
+    def test_clamped_to_vertex_count(self):
+        g = Graph.from_edges([(0, 1)])
+        assert len(top_degree_vertices(g, 10)) == 2
+
+
+class TestAverageDistance:
+    def test_exact_on_path(self):
+        # Path of 3: pairs (0,1)=1 (0,2)=2 (1,2)=1 -> mean 4/3.
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        estimate = average_distance_estimate(g, num_sources=3, seed=0)
+        assert estimate == pytest.approx(4 / 3)
+
+    def test_matches_networkx_on_small_graph(self):
+        g = grid_2d(4, 4)
+        nxg = nx.grid_2d_graph(4, 4)
+        expected = nx.average_shortest_path_length(nxg)
+        estimate = average_distance_estimate(g, num_sources=16, seed=0)
+        assert estimate == pytest.approx(expected, rel=0.01)
+
+    def test_trivial_graph(self):
+        assert average_distance_estimate(Graph.empty(1)) == 0.0
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert is_connected(cycle_graph(5))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph.from_edges([(0, 1), (2, 3)]))
+
+    def test_single_vertex(self):
+        assert is_connected(Graph.empty(1))
+
+
+class TestDiameterEstimate:
+    def test_lower_bound_on_path(self):
+        g = Graph.from_edges([(i, i + 1) for i in range(10)])
+        assert diameter_estimate(g, num_probes=4, seed=0) == 10
+
+    def test_zero_for_empty(self):
+        assert diameter_estimate(Graph.empty(0)) == 0
+
+
+class TestDensity:
+    def test_complete(self):
+        from repro.graph import complete_graph
+
+        assert density(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert density(Graph.empty(3)) == 0.0
+
+
+class TestTriangles:
+    def test_triangle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert triangle_count_estimate(g) == 1
+
+    def test_matches_networkx(self):
+        g = barabasi_albert(120, 3, seed=4)
+        nxg = nx.Graph(list(g.edges()))
+        expected = sum(nx.triangles(nxg).values()) // 3
+        assert triangle_count_estimate(g) == expected
+
+    def test_no_triangles_in_grid(self):
+        assert triangle_count_estimate(grid_2d(5, 5)) == 0

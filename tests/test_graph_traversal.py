@@ -1,0 +1,155 @@
+"""Traversal kernels cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro._util import UNREACHED
+from repro.graph import (
+    bfs_distances,
+    bfs_distances_bounded,
+    connected_components,
+    expand_frontier,
+    multi_source_bfs,
+)
+from repro.graph.traversal import eccentricity
+
+from conftest import random_graph_corpus
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+class TestExpandFrontier:
+    def test_empty_frontier(self):
+        g = Graph.from_edges([(0, 1)])
+        out = expand_frontier(g.indptr, g.indices,
+                              np.empty(0, dtype=np.int32))
+        assert len(out) == 0
+
+    def test_single_vertex(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        out = expand_frontier(g.indptr, g.indices,
+                              np.array([0], dtype=np.int32))
+        assert sorted(out.tolist()) == [1, 2, 3]
+
+    def test_multi_vertex_keeps_duplicates(self):
+        g = Graph.from_edges([(0, 2), (1, 2)])
+        out = expand_frontier(g.indptr, g.indices,
+                              np.array([0, 1], dtype=np.int32))
+        assert sorted(out.tolist()) == [2, 2]
+
+    def test_isolated_vertices(self):
+        g = Graph.empty(4)
+        out = expand_frontier(g.indptr, g.indices,
+                              np.array([0, 1], dtype=np.int32))
+        assert len(out) == 0
+
+
+class TestBfsDistances:
+    def test_path_graph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable_marked(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == UNREACHED
+        assert dist[3] == UNREACHED
+
+    def test_out_buffer_reused(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        buffer = np.empty(3, dtype=np.int32)
+        result = bfs_distances(g, 2, out=buffer)
+        assert result is buffer
+        assert buffer.tolist() == [2, 1, 0]
+
+    def test_bounded_stops_early(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        dist = bfs_distances_bounded(g, 0, max_depth=2)
+        assert dist.tolist()[:3] == [0, 1, 2]
+        assert dist[3] == UNREACHED
+        assert dist[4] == UNREACHED
+
+    def test_bounded_zero_depth(self):
+        g = Graph.from_edges([(0, 1)])
+        dist = bfs_distances_bounded(g, 0, max_depth=0)
+        assert dist[0] == 0
+        assert dist[1] == UNREACHED
+
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=5, count=15)))
+    def test_matches_networkx(self, label, graph):
+        if graph.num_vertices == 0:
+            pytest.skip("empty graph")
+        nxg = to_networkx(graph)
+        source = graph.num_vertices // 2
+        expected = nx.single_source_shortest_path_length(nxg, source)
+        dist = bfs_distances(graph, source)
+        for v in range(graph.num_vertices):
+            if v in expected:
+                assert dist[v] == expected[v], f"{label}: vertex {v}"
+            else:
+                assert dist[v] == UNREACHED, f"{label}: vertex {v}"
+
+
+class TestMultiSourceBfs:
+    def test_two_sources(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        dist = multi_source_bfs(g, [0, 4])
+        assert dist.tolist() == [0, 1, 2, 1, 0]
+
+    def test_matches_min_of_single_sources(self):
+        for label, graph in random_graph_corpus(seed=9, count=8):
+            if graph.num_vertices < 3:
+                continue
+            sources = [0, graph.num_vertices - 1]
+            combined = multi_source_bfs(graph, sources)
+            singles = [bfs_distances(graph, s) for s in sources]
+            for v in range(graph.num_vertices):
+                finite = [int(d[v]) for d in singles if d[v] != UNREACHED]
+                expected = min(finite) if finite else UNREACHED
+                assert combined[v] == expected, f"{label}: vertex {v}"
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        count, labels = connected_components(g)
+        assert count == 1
+        assert set(labels.tolist()) == {0}
+
+    def test_two_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        count, labels = connected_components(g)
+        assert count == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices_are_components(self):
+        g = Graph.empty(3)
+        count, _ = connected_components(g)
+        assert count == 3
+
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=13, count=10)))
+    def test_matches_networkx(self, label, graph):
+        nxg = to_networkx(graph)
+        count, labels = connected_components(graph)
+        assert count == nx.number_connected_components(nxg), label
+        for component in nx.connected_components(nxg):
+            ids = {int(labels[v]) for v in component}
+            assert len(ids) == 1, f"{label}: split component"
+
+
+class TestEccentricity:
+    def test_path(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert eccentricity(g, 0) == 3
+        assert eccentricity(g, 1) == 2

@@ -1,0 +1,114 @@
+"""Harness and CLI smoke tests on the smallest stand-in."""
+
+import pytest
+
+from repro import harness
+from repro.cli import build_parser, main
+
+SMALL = ["douban"]
+
+
+class TestHarnessRunners:
+    def test_table1(self):
+        rows = harness.run_table1(SMALL)
+        assert len(rows) == 1
+        assert rows[0]["dataset"] == "douban"
+        assert rows[0]["|V|"] > 1000
+
+    def test_table2_construction(self):
+        rows = harness.run_table2_construction(SMALL, ppl_budget=30.0,
+                                               parent_budget=30.0)
+        row = rows[0]
+        assert row["qbs_seconds"] > 0
+        assert row["qbs_p_seconds"] > 0
+        # PPL either finished (string time) or DNF'd.
+        assert row["ppl"] == "DNF" or row["ppl_seconds"] is not None
+
+    def test_table2_query(self):
+        rows = harness.run_table2_query(SMALL, num_pairs=25,
+                                        ppl_budget=30.0)
+        row = rows[0]
+        assert row["qbs_ms"] > 0
+        assert row["bibfs_ms"] > 0
+
+    def test_table3(self):
+        rows = harness.run_table3(SMALL, ppl_budget=30.0)
+        row = rows[0]
+        assert row["qbs_L_bytes"] > 0
+        assert row["qbs_delta_bytes"] >= 0
+
+    def test_fig7(self):
+        rows = harness.run_fig7(SMALL, num_pairs=40)
+        row = rows[0]
+        assert abs(sum(row["fractions"].values()) - 1.0) < 0.05
+
+    def test_fig8(self):
+        rows = harness.run_fig8(SMALL, landmark_counts=(5, 20),
+                                num_pairs=30)
+        assert len(rows) == 2
+        assert all(0 <= r["covered_ratio"] <= 1 for r in rows)
+
+    def test_fig9(self):
+        rows = harness.run_fig9(SMALL, landmark_counts=(5, 10))
+        assert rows[1]["label_bytes"] == 2 * rows[0]["label_bytes"]
+
+    def test_fig10(self):
+        rows = harness.run_fig10(SMALL, landmark_counts=(5, 10))
+        assert all(r["seconds"] > 0 for r in rows)
+
+    def test_fig11(self):
+        rows = harness.run_fig11(SMALL, landmark_counts=(5,),
+                                 num_pairs=20)
+        assert rows[0]["query_ms"] > 0
+
+    def test_remarks(self):
+        rows = harness.run_remarks_traversal(SMALL, num_pairs=20)
+        assert rows[0]["qbs_edges"] > 0
+        assert rows[0]["bibfs_edges"] > 0
+
+
+class TestFormatting:
+    def test_format_rows_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": None}]
+        text = harness.format_rows(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+
+    def test_format_rows_empty(self):
+        assert harness.format_rows([]) == "(no rows)"
+
+    def test_internal_columns_hidden(self):
+        rows = [{"a": 1, "a_bytes": 512, "a_seconds": 0.5,
+                 "fractions": {1: 0.5}}]
+        text = harness.format_rows(rows)
+        assert "a_bytes" not in text
+        assert "fractions" not in text
+
+
+class TestCli:
+    def test_parser_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_main_runs_table1(self, capsys):
+        code = main(["table1", "--datasets", "douban"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "douban" in out
+
+    def test_main_passes_pairs(self, capsys):
+        code = main(["fig7", "--datasets", "douban", "--pairs", "20"])
+        assert code == 0
+        assert "douban" in capsys.readouterr().out
+
+    def test_main_passes_landmarks(self, capsys):
+        code = main(["fig9", "--datasets", "douban",
+                     "--landmarks", "5", "10"])
+        assert code == 0
+        assert "douban" in capsys.readouterr().out

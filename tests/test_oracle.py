@@ -1,0 +1,72 @@
+"""The test oracle itself is cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro import Graph, spg_oracle
+from repro.baselines.oracle import distance_oracle
+
+from conftest import random_graph_corpus, sample_vertex_pairs
+
+
+def networkx_spg(graph: Graph, u: int, v: int):
+    """Independent SPG computation: enumerate nx.all_shortest_paths."""
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    nxg.add_edges_from(graph.edges())
+    if u == v:
+        return 0, frozenset()
+    if not nx.has_path(nxg, u, v):
+        return None, frozenset()
+    edges = set()
+    distance = None
+    for path in nx.all_shortest_paths(nxg, u, v):
+        distance = len(path) - 1
+        for a, b in zip(path, path[1:]):
+            edges.add((min(a, b), max(a, b)))
+    return distance, frozenset(edges)
+
+
+class TestOracleVsNetworkx:
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=21, count=20)))
+    def test_differential(self, label, graph):
+        if graph.num_vertices < 2:
+            pytest.skip("too small")
+        for u, v in sample_vertex_pairs(graph, 8, seed=1):
+            expected_d, expected_edges = networkx_spg(graph, u, v)
+            got = spg_oracle(graph, u, v)
+            assert got.distance == expected_d, f"{label} ({u},{v})"
+            assert got.edges == expected_edges, f"{label} ({u},{v})"
+
+
+class TestOracleBasics:
+    def test_self_pair(self):
+        g = Graph.from_edges([(0, 1)])
+        assert spg_oracle(g, 0, 0).distance == 0
+
+    def test_adjacent_pair(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        spg = spg_oracle(g, 0, 1)
+        assert spg.distance == 1
+        assert spg.edges == frozenset({(0, 1)})
+
+    def test_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert spg_oracle(g, 0, 3).distance is None
+
+    def test_figure3_example(self, figure3_graph):
+        """Example 3.1: SPG(3, 7) (0-indexed: SPG(2, 6)) contains the
+        multi-path answer through vertices 2, 4 and 5."""
+        spg = spg_oracle(figure3_graph, 2, 6)
+        assert spg.distance == 4
+        # Paths: 3-1-2-5-7 and 3-4-2-5-7 (paper ids).
+        assert spg.edges == frozenset(
+            {(0, 2), (0, 1), (2, 3), (1, 3), (1, 4), (4, 6)}
+        )
+
+    def test_distance_oracle(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert distance_oracle(g, 0, 2) == 2
+        g2 = Graph.from_edges([(0, 1), (2, 3)])
+        assert distance_oracle(g2, 0, 3) is None

@@ -1,0 +1,121 @@
+"""The paper's worked examples, executed literally.
+
+Each test corresponds to a numbered example or figure in the paper, so
+a reviewer can line the suite up against the text.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Graph, QbSIndex, spg_oracle
+from repro.baselines import PPLIndex
+
+from conftest import FIGURE3_EDGES
+
+
+class TestExample31And33:
+    """Examples 3.1/3.3: the query SPG(3, 7) on the Figure 3 graph.
+
+    Using only 2-hop *distance* cover information starting from the
+    top-ranked landmark finds one path; the full answer needs vertices
+    2, 4 and 5 (paper ids) as well.
+    """
+
+    def test_full_answer(self, figure3_graph):
+        spg = spg_oracle(figure3_graph, 2, 6)
+        # Paper ids: answer contains vertices {3, 1, 2, 4, 5, 7}.
+        assert spg.vertices == {2, 0, 1, 3, 4, 6}
+        assert spg.distance == 4
+        assert spg.count_paths() == 2
+
+    def test_ppl_finds_it(self, figure3_graph):
+        index = PPLIndex.build(figure3_graph)
+        assert index.query(2, 6) == spg_oracle(figure3_graph, 2, 6)
+
+    def test_qbs_finds_it(self, figure3_graph):
+        index = QbSIndex.build(figure3_graph, num_landmarks=2)
+        assert index.query(2, 6) == spg_oracle(figure3_graph, 2, 6)
+
+
+class TestExample34:
+    """Example 3.4: the PPL recursion touches sub-queries like (7, 1),
+    (3, 2), (7, 2) — we verify the intermediate SPGs it combines."""
+
+    def test_subquery_answers(self, figure3_graph):
+        index = PPLIndex.build(figure3_graph)
+        # (3, 1): adjacent (paper) -> single edge.
+        assert index.query(2, 0).edges == frozenset({(0, 2)})
+        # (7, 1): distance 3, through 2 and 5 (paper ids).
+        spg = index.query(6, 0)
+        assert spg.distance == 3
+        assert spg == spg_oracle(figure3_graph, 6, 0)
+
+
+class TestFigure2Pipeline:
+    """Figure 2's offline/online split: labelling happens once,
+    queries run on the precomputed state only."""
+
+    def test_offline_then_many_queries(self, figure4_graph):
+        index = QbSIndex.build(figure4_graph, num_landmarks=3)
+        build_seconds = index.report.total_seconds
+        assert build_seconds > 0
+        n = figure4_graph.num_vertices
+        for u in range(n):
+            for v in range(u, n):
+                assert index.query(u, v) == spg_oracle(figure4_graph,
+                                                       u, v)
+        # The report is immutable offline state — untouched by queries.
+        assert index.report.total_seconds == build_seconds
+
+
+class TestFigure1Motivation:
+    """Figure 1: equal distance, different structure. The SPG
+    distinguishes the three cases by path count."""
+
+    def make_chain(self):
+        # (a) one path of length 3.
+        return Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+    def make_braid(self):
+        # (b)-style: parallel mid-sections -> 4 paths.
+        return Graph.from_edges([
+            (0, 1), (0, 2), (0, 3),
+            (1, 4), (2, 4), (3, 4),
+            (4, 5),
+            (0, 6), (6, 7), (7, 5),
+        ])
+
+    def test_path_counts_distinguish(self):
+        chain = self.make_chain()
+        assert spg_oracle(chain, 0, 3).count_paths() == 1
+        braid = self.make_braid()
+        spg = spg_oracle(braid, 0, 5)
+        assert spg.distance == 3
+        assert spg.count_paths() == 4
+
+
+class TestDefinition22:
+    """SPG vs induced subgraph: the induced subgraph on SPG vertices
+    may contain extra edges; ours must not."""
+
+    def test_no_induced_extras(self):
+        # 0-1-3 and 0-2-3 are shortest; edge (1, 2) joins two SPG
+        # vertices but lies on no shortest 0-3 path.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)])
+        spg = spg_oracle(g, 0, 3)
+        assert (1, 2) not in spg.edges
+        index = QbSIndex.build(g, num_landmarks=2)
+        assert (1, 2) not in index.query(0, 3).edges
+
+
+class TestComplexityClaims:
+    """§5.2: sketch work is O(|R|^2) independent of graph size."""
+
+    def test_sketch_touches_only_label_rows(self, figure4_graph):
+        index = QbSIndex.build(figure4_graph, num_landmarks=3)
+        sketch = index.sketch(5, 10)
+        # A sketch exists without any graph traversal having happened:
+        # it is a pure function of two label rows and d_M.
+        assert sketch.d_top == 5
+        assert len(sketch.side_u) <= 3
+        assert len(sketch.side_v) <= 3

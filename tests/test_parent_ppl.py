@@ -1,0 +1,103 @@
+"""ParentPPL tests: exactness, parent-set semantics, size model."""
+
+import pytest
+
+from repro import BudgetExceededError, Graph, spg_oracle
+from repro._util import TimeBudget
+from repro.baselines import ParentPPLIndex, PPLIndex
+
+from conftest import random_graph_corpus, sample_vertex_pairs
+
+
+class TestExactness:
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=400, count=12)))
+    def test_differential(self, label, graph):
+        if graph.num_vertices < 2:
+            pytest.skip("too small")
+        index = ParentPPLIndex.build(graph)
+        for u, v in sample_vertex_pairs(graph, 10, seed=51):
+            assert index.query(u, v) == spg_oracle(graph, u, v), \
+                f"{label} ({u},{v})"
+
+    def test_self_and_disconnected(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        index = ParentPPLIndex.build(graph)
+        assert index.query(1, 1).distance == 0
+        assert index.query(0, 2).distance is None
+
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=410, count=6)))
+    def test_distances_exact(self, label, graph):
+        if graph.num_vertices < 2:
+            pytest.skip("too small")
+        index = ParentPPLIndex.build(graph)
+        for u, v in sample_vertex_pairs(graph, 10, seed=53):
+            assert index.distance(u, v) == \
+                spg_oracle(graph, u, v).distance, f"{label} ({u},{v})"
+
+
+class TestParentSemantics:
+    def test_parents_are_shortest_path_predecessors(self):
+        """Every stored parent must sit one step closer to the landmark
+        on a real shortest path."""
+        from repro.graph import erdos_renyi
+        from repro.graph.traversal import bfs_distances
+
+        graph = erdos_renyi(40, 0.15, seed=55)
+        index = ParentPPLIndex.build(graph)
+        order = index.order
+        for v in range(graph.num_vertices):
+            ranks = index._label_ranks[v]
+            dists = index._label_dists[v]
+            parents_list = index._label_parents[v]
+            for rank, dist, parents in zip(ranks, dists, parents_list):
+                landmark = int(order[rank])
+                landmark_dist = bfs_distances(graph, landmark)
+                assert landmark_dist[v] == dist
+                for w in parents:
+                    assert graph.has_edge(v, w)
+                    assert landmark_dist[w] == dist - 1
+
+    def test_parents_complete(self):
+        """All shortest-path predecessors are recorded, not just one."""
+        # Diamond: 0-{1,2}-3; from landmark 0 vertex 3 has parents 1, 2.
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        index = ParentPPLIndex.build(graph)
+        order = list(index.order)
+        rank0 = order.index(0)
+        entry = index._entry_for(3, rank0)
+        assert entry is not None
+        distance, parents = entry
+        assert distance == 2
+        assert set(parents) == {1, 2}
+
+
+class TestSizeModel:
+    def test_roughly_double_ppl(self):
+        """Table 3: ParentPPL labels are about twice PPL's size."""
+        from repro.graph import barabasi_albert
+
+        graph = barabasi_albert(150, 2, seed=57)
+        ppl = PPLIndex.build(graph)
+        parent = ParentPPLIndex.build(graph)
+        assert parent.num_entries() == ppl.num_entries()
+        assert parent.paper_size_bytes() > 1.4 * ppl.paper_size_bytes()
+
+    def test_parent_slots_counted(self):
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        index = ParentPPLIndex.build(graph)
+        assert index.num_parent_slots() > 0
+        assert index.paper_size_bytes() == (
+            index.num_entries() * 5 + index.num_parent_slots() * 4
+        )
+
+
+class TestBudget:
+    def test_budget_dnf(self):
+        from repro.graph import erdos_renyi
+
+        graph = erdos_renyi(300, 0.05, seed=59)
+        with pytest.raises(BudgetExceededError):
+            ParentPPLIndex.build(graph,
+                                 budget=TimeBudget(1e-9, label="x"))

@@ -1,0 +1,134 @@
+"""Failure injection and adversarial-input robustness."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    GraphFormatError,
+    GraphValidationError,
+    QbSIndex,
+    spg_oracle,
+)
+from repro.graph import read_edge_list
+
+
+class TestMalformedInputs:
+    def test_edge_list_with_negative_ids(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n-3 2\n")
+        with pytest.raises(GraphValidationError):
+            read_edge_list(path)
+
+    def test_edge_list_with_floats(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n0.5 2\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_truncated_npz(self, tmp_path):
+        from repro.graph import load_npz, save_npz
+        from repro.graph.generators import erdos_renyi
+
+        path = tmp_path / "g.npz"
+        save_npz(erdos_renyi(30, 0.2, seed=1), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            load_npz(path)
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex(self):
+        g = Graph.empty(1)
+        index = QbSIndex.build(g, num_landmarks=1)
+        assert index.query(0, 0).distance == 0
+
+    def test_single_edge(self):
+        g = Graph.from_edges([(0, 1)])
+        index = QbSIndex.build(g, num_landmarks=1)
+        assert index.query(0, 1).edges == frozenset({(0, 1)})
+
+    def test_edgeless_graph(self):
+        g = Graph.empty(5)
+        index = QbSIndex.build(g, num_landmarks=2)
+        assert index.query(0, 4).distance is None
+
+    def test_star_all_queries(self):
+        """Star: the centre is the landmark; every spoke pair is a
+        pure recover-search answer."""
+        edges = [(0, i) for i in range(1, 12)]
+        g = Graph.from_edges(edges)
+        index = QbSIndex.build(g, num_landmarks=1)
+        assert int(index.landmarks[0]) == 0
+        for u in range(1, 12):
+            for v in range(u + 1, 12):
+                spg = index.query(u, v)
+                assert spg.distance == 2
+                assert spg.edges == frozenset({(0, u), (0, v)})
+
+    def test_complete_graph_all_pairs(self):
+        from repro.graph import complete_graph
+
+        g = complete_graph(8)
+        index = QbSIndex.build(g, num_landmarks=3)
+        for u in range(8):
+            for v in range(8):
+                assert index.query(u, v) == spg_oracle(g, u, v)
+
+    def test_long_path_graph(self):
+        """Deep graphs exercise many BFS levels and the d_top bound."""
+        from repro.graph import path_graph
+
+        g = path_graph(60)
+        index = QbSIndex.build(g, num_landmarks=4)
+        spg = index.query(0, 59)
+        assert spg.distance == 59
+        assert spg.num_edges == 59
+
+    def test_two_cliques_one_bridge(self):
+        """All shortest inter-clique paths cross the bridge."""
+        edges = []
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((i, j))
+                edges.append((5 + i, 5 + j))
+        edges.append((0, 5))
+        g = Graph.from_edges(edges)
+        index = QbSIndex.build(g, num_landmarks=2)
+        for u in range(1, 5):
+            for v in range(6, 10):
+                spg = index.query(u, v)
+                assert spg == spg_oracle(g, u, v)
+                assert (0, 5) in spg.edges
+
+    def test_uint8_distance_guard(self):
+        """Labelled BFS refuses graphs deeper than the uint8 model."""
+        from repro.errors import IndexBuildError
+        from repro.graph import path_graph
+
+        g = path_graph(300)
+        with pytest.raises(IndexBuildError):
+            QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+
+
+class TestAllLandmarks:
+    def test_every_vertex_a_landmark(self):
+        """|R| = |V|: the sparsified graph is empty; every answer comes
+        from the fallback or recover machinery."""
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(12, 0.3, seed=5)
+        index = QbSIndex.build(g, num_landmarks=12)
+        for u in range(12):
+            for v in range(12):
+                assert index.query(u, v) == spg_oracle(g, u, v)
+
+    def test_all_but_one_landmark(self):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(12, 0.3, seed=7)
+        index = QbSIndex.build(g, num_landmarks=11)
+        for u in range(12):
+            for v in range(12):
+                assert index.query(u, v) == spg_oracle(g, u, v)

@@ -1,0 +1,131 @@
+"""Algorithm 4 (guided search) tests, anchored on Figure 6."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, QbSIndex, bidirectional_spg, spg_oracle
+from repro.core.search import SearchStats
+
+from conftest import random_graph_corpus, sample_vertex_pairs
+
+
+@pytest.fixture
+def figure4_index(figure4_graph):
+    return QbSIndex.build(figure4_graph,
+                          landmarks=np.array([0, 1, 2], dtype=np.int32))
+
+
+class TestFigure6WalkThrough:
+    """Example 4.8, end to end: the query SPG(6, 11) (0-indexed (5, 10))."""
+
+    def test_answer_matches_figure6f(self, figure4_index):
+        spg = figure4_index.query(5, 10)
+        assert spg.distance == 5
+        expected = {
+            # G-minus part: 6-7-8-9-10-11 (paper ids).
+            (5, 6), (6, 7), (7, 8), (8, 9), (9, 10),
+            # Landmark route via (1,2): 6-1-2-9-10-11.
+            (0, 5), (0, 1), (1, 8),
+            # Landmark route via (1,3): 6-1-{2-3 | 4-3}-12-11.
+            (1, 2), (0, 3), (2, 3), (2, 11), (10, 11),
+        }
+        assert spg.edges == frozenset(expected)
+
+    def test_oracle_agrees(self, figure4_graph, figure4_index):
+        assert figure4_index.query(5, 10) == spg_oracle(figure4_graph,
+                                                        5, 10)
+
+    def test_stats_record_both_stages(self, figure4_index):
+        spg, stats = figure4_index.query_with_stats(5, 10)
+        assert stats.d_top == 5
+        assert stats.d_minus == 5      # frontiers meet at paper vertex 8
+        assert stats.met
+        assert stats.used_reverse
+        assert stats.used_recover
+
+    def test_search_depths(self, figure4_index):
+        """The paper reports d_6 = 2 and d_11 = 3 before meeting; we
+        check the equivalent observable: the searched distance."""
+        spg, stats = figure4_index.query_with_stats(5, 10)
+        assert stats.d_minus == 5
+
+
+class TestStageSelection:
+    """Eq. 5's three cases drive which stages run."""
+
+    def test_reverse_only_when_gminus_shorter(self):
+        # Landmark 0 sits on a detour; the direct path avoids it.
+        g = Graph.from_edges([(1, 2), (2, 3),              # direct, len 2
+                              (1, 0), (0, 4), (4, 3)])     # via lm, len 3
+        index = QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+        spg, stats = index.query_with_stats(1, 3)
+        assert spg.distance == 2
+        assert stats.used_reverse
+        assert not stats.used_recover
+        assert spg.edges == frozenset({(1, 2), (2, 3)})
+
+    def test_recover_only_when_all_paths_through_landmark(self):
+        g = Graph.from_edges([(1, 0), (0, 2)])  # star through landmark
+        index = QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+        spg, stats = index.query_with_stats(1, 2)
+        assert spg.distance == 2
+        assert stats.used_recover
+        assert not stats.used_reverse
+        assert spg.edges == frozenset({(0, 1), (0, 2)})
+
+    def test_both_when_tied(self):
+        g = Graph.from_edges([(1, 0), (0, 2),     # through landmark, len 2
+                              (1, 3), (3, 2)])    # avoiding, len 2
+        index = QbSIndex.build(g, landmarks=np.array([0], dtype=np.int32))
+        spg, stats = index.query_with_stats(1, 2)
+        assert spg.distance == 2
+        assert stats.used_recover
+        assert stats.used_reverse
+        assert spg.edges == frozenset({(0, 1), (0, 2), (1, 3), (2, 3)})
+
+
+class TestBidirectionalSpg:
+    def test_adjacent(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        spg = bidirectional_spg(g, 0, 1)
+        assert spg.distance == 1
+        assert spg.edges == frozenset({(0, 1)})
+
+    def test_self(self):
+        g = Graph.from_edges([(0, 1)])
+        assert bidirectional_spg(g, 1, 1).distance == 0
+
+    def test_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert bidirectional_spg(g, 0, 3).distance is None
+
+    def test_stats_collected(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        stats = SearchStats()
+        bidirectional_spg(g, 0, 3, stats)
+        assert stats.met
+        assert stats.edges_traversed > 0
+
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=81, count=15)))
+    def test_differential(self, label, graph):
+        if graph.num_vertices < 2:
+            pytest.skip("too small")
+        for u, v in sample_vertex_pairs(graph, 10, seed=5):
+            assert bidirectional_spg(graph, u, v) == \
+                spg_oracle(graph, u, v), f"{label} ({u},{v})"
+
+
+class TestGuidanceAblation:
+    """use_budgets=False must not change answers, only effort."""
+
+    @pytest.mark.parametrize("label,graph",
+                             list(random_graph_corpus(seed=91, count=8)))
+    def test_same_answers(self, label, graph):
+        if graph.num_vertices < 6:
+            pytest.skip("too small")
+        index = QbSIndex.build(graph, num_landmarks=3)
+        for u, v in sample_vertex_pairs(graph, 8, seed=7):
+            guided, _ = index.query_with_stats(u, v, use_budgets=True)
+            unguided, _ = index.query_with_stats(u, v, use_budgets=False)
+            assert guided == unguided, f"{label} ({u},{v})"

@@ -1,0 +1,128 @@
+"""Unit tests for the ShortestPathGraph result type."""
+
+import pytest
+
+from repro import QueryError, ShortestPathGraph
+
+
+def spg(source, target, distance, edges):
+    return ShortestPathGraph(source, target, distance, edges)
+
+
+class TestConstruction:
+    def test_trivial(self):
+        s = ShortestPathGraph.trivial(3)
+        assert s.distance == 0
+        assert s.vertices == {3}
+        assert s.num_edges == 0
+
+    def test_empty(self):
+        s = ShortestPathGraph.empty(1, 2)
+        assert s.distance is None
+        assert not s.is_connected_pair
+
+    def test_edges_normalized(self):
+        s = spg(0, 2, 2, [(2, 1), (1, 0)])
+        assert s.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_trivial_with_edges_rejected(self):
+        with pytest.raises(QueryError):
+            spg(0, 0, 0, [(0, 1)])
+
+    def test_disconnected_with_edges_rejected(self):
+        with pytest.raises(QueryError):
+            spg(0, 1, None, [(0, 1)])
+
+
+class TestStructure:
+    @pytest.fixture
+    def diamond(self):
+        """0 - {1, 2} - 3: two shortest paths of length 2."""
+        return spg(0, 3, 2, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+    def test_vertices(self, diamond):
+        assert diamond.vertices == {0, 1, 2, 3}
+
+    def test_levels(self, diamond):
+        assert diamond.levels() == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_count_paths(self, diamond):
+        assert diamond.count_paths() == 2
+
+    def test_count_paths_single_chain(self):
+        s = spg(0, 3, 3, [(0, 1), (1, 2), (2, 3)])
+        assert s.count_paths() == 1
+
+    def test_count_paths_trivial(self):
+        assert ShortestPathGraph.trivial(0).count_paths() == 1
+
+    def test_count_paths_disconnected(self):
+        assert ShortestPathGraph.empty(0, 1).count_paths() == 0
+
+    def test_count_paths_multiplicative(self):
+        # Two diamonds in sequence: 2 * 2 = 4 paths.
+        s = spg(0, 6, 4, [(0, 1), (0, 2), (1, 3), (2, 3),
+                          (3, 4), (3, 5), (4, 6), (5, 6)])
+        assert s.count_paths() == 4
+
+    def test_iter_paths(self, diamond):
+        paths = sorted(diamond.iter_paths())
+        assert paths == [(0, 1, 3), (0, 2, 3)]
+
+    def test_iter_paths_limit(self, diamond):
+        assert len(list(diamond.iter_paths(limit=1))) == 1
+
+    def test_iter_paths_trivial(self):
+        assert list(ShortestPathGraph.trivial(7).iter_paths()) == [(7,)]
+
+    def test_iter_paths_empty(self):
+        assert list(ShortestPathGraph.empty(0, 1).iter_paths()) == []
+
+    def test_dag_edges_oriented(self, diamond):
+        oriented = set(diamond.dag_edges())
+        assert oriented == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_edge_betweenness(self, diamond):
+        betweenness = diamond.edge_betweenness()
+        assert all(count == 1 for count in betweenness.values())
+
+    def test_edge_betweenness_chain(self):
+        s = spg(0, 2, 2, [(0, 1), (1, 2)])
+        assert set(s.edge_betweenness().values()) == {1}
+
+    def test_critical_edges_chain(self):
+        s = spg(0, 3, 3, [(0, 1), (1, 2), (2, 3)])
+        assert s.critical_edges() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_critical_edges_diamond(self, diamond):
+        assert diamond.critical_edges() == set()
+
+    def test_critical_edges_bowtie(self):
+        # 0-{1,2}-3-4: the 3-4 edge is on both paths.
+        s = spg(0, 4, 3, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        assert s.critical_edges() == {(3, 4)}
+
+
+class TestEquality:
+    def test_equal(self):
+        a = spg(0, 2, 2, [(0, 1), (1, 2)])
+        b = spg(2, 0, 2, [(1, 2), (0, 1)])
+        assert a == b          # direction-insensitive
+        assert hash(a) == hash(b)
+
+    def test_unequal_distance(self):
+        a = spg(0, 2, 2, [(0, 1), (1, 2)])
+        b = ShortestPathGraph.empty(0, 2)
+        assert a != b
+
+    def test_unequal_edges(self):
+        a = spg(0, 3, 2, [(0, 1), (1, 3)])
+        b = spg(0, 3, 2, [(0, 2), (2, 3)])
+        assert a != b
+
+    def test_not_equal_other_type(self):
+        assert spg(0, 1, 1, [(0, 1)]) != 42
+
+    def test_repr(self):
+        s = spg(0, 1, 1, [(0, 1)])
+        assert "distance=1" in repr(s)

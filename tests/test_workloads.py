@@ -1,0 +1,115 @@
+"""Workload layer: dataset stand-ins and query sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.ops import is_connected
+from repro.workloads import (
+    DATASETS,
+    dataset_names,
+    default_num_pairs,
+    load_dataset,
+    sample_pairs,
+    small_dataset_names,
+)
+
+
+class TestRegistry:
+    def test_twelve_datasets(self):
+        assert len(dataset_names()) == 12
+
+    def test_order_matches_table1(self):
+        assert dataset_names()[0] == "douban"
+        assert dataset_names()[-1] == "clueweb09"
+
+    def test_small_subset(self):
+        small = small_dataset_names()
+        assert set(small) <= set(dataset_names())
+        assert "douban" in small
+        assert "twitter" not in small
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            load_dataset("facebook")
+
+    def test_specs_have_paper_provenance(self):
+        for spec in DATASETS.values():
+            assert spec.paper_vertices
+            assert spec.paper_edges
+            assert spec.network_type
+
+
+class TestGeneratedGraphs:
+    @pytest.mark.parametrize("name", ["douban", "orkut", "clueweb09"])
+    def test_connected(self, name):
+        assert is_connected(load_dataset(name))
+
+    def test_deterministic(self):
+        a = DATASETS["douban"].build()
+        b = DATASETS["douban"].build()
+        assert a == b
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("dblp")
+        b = load_dataset("dblp")
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = load_dataset("dblp")
+        b = load_dataset("dblp", cache=False)
+        assert a == b
+        assert a is not b
+
+    def test_hub_datasets_have_hubs(self):
+        """Stand-ins for WikiTalk/Twitter must be hub-dominated, the
+        property Figure 8's high coverage depends on."""
+        for name in ("wikitalk", "twitter", "clueweb09"):
+            g = load_dataset(name)
+            degrees = g.degree()
+            assert degrees.max() > 20 * degrees.mean(), name
+
+    def test_even_degree_datasets_have_no_hubs(self):
+        """Orkut/Friendster stand-ins: evenly distributed degrees."""
+        for name in ("orkut", "friendster"):
+            g = load_dataset(name)
+            degrees = g.degree()
+            assert degrees.max() < 4 * degrees.mean(), name
+
+    def test_clueweb_is_largest(self):
+        sizes = {name: load_dataset(name).num_vertices
+                 for name in ("douban", "clueweb09")}
+        assert sizes["clueweb09"] > sizes["douban"]
+
+
+class TestSamplePairs:
+    @pytest.fixture
+    def graph(self):
+        return load_dataset("douban")
+
+    def test_count(self, graph):
+        assert len(sample_pairs(graph, 50, seed=1)) == 50
+
+    def test_seeded_determinism(self, graph):
+        assert sample_pairs(graph, 30, seed=4) == \
+            sample_pairs(graph, 30, seed=4)
+
+    def test_distinct_endpoints(self, graph):
+        pairs = sample_pairs(graph, 200, seed=5)
+        assert all(u != v for u, v in pairs)
+
+    def test_in_range(self, graph):
+        n = graph.num_vertices
+        for u, v in sample_pairs(graph, 100, seed=6):
+            assert 0 <= u < n
+            assert 0 <= v < n
+
+    def test_tiny_graph_rejected(self):
+        from repro import Graph
+
+        with pytest.raises(ReproError):
+            sample_pairs(Graph.empty(1), 5)
+
+    def test_default_num_pairs_bounds(self, graph):
+        count = default_num_pairs(graph)
+        assert 200 <= count <= 2000
