@@ -1,45 +1,25 @@
 """Shared fixtures for the benchmark suite.
 
 Each benchmark module regenerates one table or figure of the paper on
-the synthetic stand-ins (see DESIGN.md §5 for the index). Session-
-scoped fixtures share built indices across modules so the suite's
-wall-time goes into the measured operations, not setup.
+the synthetic stand-ins. Session-scoped fixtures share built indices
+across modules so the suite's wall-time goes into the measured
+operations, not setup.
 
-Dataset scope: cheap experiments (statistics, sizes) run on all twelve
-stand-ins; timing-heavy ones use a representative subset covering the
-paper's regimes — small (douban), clustered (dblp), hub-dominated
-(youtube, twitter, clueweb09) and even-degree (friendster). Set
-``REPRO_BENCH_FULL=1`` to run everything on all twelve.
+Constants and plain helpers live in ``_bench.py``; benchmark modules
+import them with ``from _bench import ...`` (never from ``conftest``,
+which is an ambiguous module name across suites). Indexes are built
+through the :mod:`repro.engine` registry — the benchmarks measure
+whatever the canonical construction path produces.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro import BiBFS, QbSIndex
-from repro.workloads import dataset_names, load_dataset, sample_pairs
+from repro.engine import build_index
+from repro.workloads import load_dataset, sample_pairs
 
-#: Paper default |R| (§6.1).
-NUM_LANDMARKS = 20
-
-#: Representative subset for timing-heavy experiments.
-TIMED_DATASETS = ("douban", "dblp", "youtube", "twitter", "friendster",
-                  "clueweb09")
-
-#: Query workload size per dataset for benchmarks.
-BENCH_PAIRS = 120
-
-
-def timed_datasets():
-    if os.environ.get("REPRO_BENCH_FULL"):
-        return tuple(dataset_names())
-    return TIMED_DATASETS
-
-
-def all_datasets():
-    return tuple(dataset_names())
+from _bench import BENCH_PAIRS, NUM_LANDMARKS, timed_datasets
 
 
 @pytest.fixture(scope="session")
@@ -51,13 +31,14 @@ def graphs():
 @pytest.fixture(scope="session")
 def indices(graphs):
     """name -> built QbS index (|R| = 20) for the timed subset."""
-    return {name: QbSIndex.build(graph, num_landmarks=NUM_LANDMARKS)
+    return {name: build_index(graph, "qbs", num_landmarks=NUM_LANDMARKS)
             for name, graph in graphs.items()}
 
 
 @pytest.fixture(scope="session")
 def bibfs(graphs):
-    return {name: BiBFS(graph) for name, graph in graphs.items()}
+    return {name: build_index(graph, "bibfs")
+            for name, graph in graphs.items()}
 
 
 @pytest.fixture(scope="session")

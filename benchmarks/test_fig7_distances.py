@@ -10,7 +10,7 @@ import pytest
 from repro.analysis import distance_distribution
 from repro.workloads import load_dataset, sample_pairs
 
-from conftest import timed_datasets
+from _bench import timed_datasets
 
 
 @pytest.mark.parametrize("name", timed_datasets())

@@ -11,7 +11,7 @@ import pytest
 from repro.analysis import dataset_statistics
 from repro.workloads import DATASETS, load_dataset
 
-from conftest import all_datasets
+from _bench import all_datasets
 
 
 @pytest.mark.parametrize("name", all_datasets())

@@ -14,7 +14,7 @@ from repro.baselines import ParentPPLIndex, PPLIndex
 from repro.errors import BudgetExceededError
 from repro.workloads import load_dataset
 
-from conftest import NUM_LANDMARKS, timed_datasets
+from _bench import NUM_LANDMARKS, timed_datasets
 
 
 @pytest.mark.parametrize("name", timed_datasets())

@@ -12,7 +12,7 @@ import pytest
 from repro.baselines import ParentPPLIndex, PPLIndex
 from repro.workloads import load_dataset, sample_pairs
 
-from conftest import timed_datasets
+from _bench import timed_datasets
 
 
 def run_workload(query, pairs):

@@ -14,7 +14,7 @@ from repro.analysis import qbs_size_report
 from repro.baselines import ParentPPLIndex, PPLIndex
 from repro.workloads import load_dataset, small_dataset_names
 
-from conftest import NUM_LANDMARKS, all_datasets
+from _bench import NUM_LANDMARKS, all_datasets
 
 
 @pytest.mark.parametrize("name", all_datasets())

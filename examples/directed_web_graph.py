@@ -14,7 +14,8 @@ Run with::
 
 import numpy as np
 
-from repro.directed import DiGraph, DirectedQbSIndex, directed_spg_oracle
+from repro import build_index
+from repro.directed import DiGraph, directed_spg_oracle
 
 
 def make_web_graph(num_pages=4000, seed=17):
@@ -44,7 +45,7 @@ def main() -> None:
     graph = make_web_graph()
     print(f"hyperlink graph: {graph}")
 
-    index = DirectedQbSIndex.build(graph, num_landmarks=20)
+    index = build_index(graph, "qbs-directed", num_landmarks=20)
     print(f"landmarks (most-linked pages): "
           f"{sorted(int(r) for r in index.landmarks)[:10]} ...")
 

@@ -18,7 +18,7 @@ Run with::
 
 from collections import defaultdict
 
-from repro import Graph, QbSIndex
+from repro import Graph, build_index
 from repro.graph import powerlaw_cluster
 
 
@@ -57,7 +57,7 @@ def critical_vertices(spg):
 def main() -> None:
     # An infrastructure-like clustered network.
     graph = powerlaw_cluster(2000, m=2, triangle_p=0.5, seed=7)
-    index = QbSIndex.build(graph, num_landmarks=20)
+    index = build_index(graph, "qbs", num_landmarks=20)
 
     pairs = [(15, 1800), (3, 999), (42, 1337)]
     for u, v in pairs:
@@ -80,7 +80,8 @@ def main() -> None:
             pruned_edges = [e for e in graph.edges() if e != target_edge]
             pruned = Graph.from_edges(pruned_edges,
                                       num_vertices=graph.num_vertices)
-            new_spg = QbSIndex.build(pruned, num_landmarks=20).query(u, v)
+            new_spg = build_index(pruned, "qbs",
+                                  num_landmarks=20).query(u, v)
             outcome = ("disconnected" if new_spg.distance is None
                        else f"distance {spg.distance} -> "
                             f"{new_spg.distance}")

@@ -19,7 +19,7 @@ Run with::
 
 from collections import deque
 
-from repro import QbSIndex
+from repro import build_index
 from repro.graph import watts_strogatz
 
 
@@ -62,7 +62,7 @@ def rerouting_sequence(spg, start_path, goal_path):
 
 def main() -> None:
     graph = watts_strogatz(600, k=6, p=0.15, seed=21)
-    index = QbSIndex.build(graph, num_landmarks=15)
+    index = build_index(graph, "qbs", num_landmarks=15)
 
     # Scan for pairs whose solution space is interesting (>= 2 paths).
     interesting = []

@@ -9,7 +9,18 @@ construction, index building (sequential and parallel), queries,
 result inspection, and a cross-check against the online baselines.
 """
 
-from repro import BiBFS, Graph, QbSIndex, spg_oracle
+import os
+import tempfile
+
+from repro import (
+    Graph,
+    QueryOptions,
+    QuerySession,
+    available_methods,
+    build_index,
+    load_index,
+    spg_oracle,
+)
 from repro.graph import barabasi_albert
 
 
@@ -30,11 +41,13 @@ def main() -> None:
     print(f"graph: {graph}")
 
     # ------------------------------------------------------------------
-    # 2. Build the index. num_landmarks=20 is the paper's default; this
-    #    toy graph gets 3. Landmarks default to the highest-degree
-    #    vertices (the paper's strategy).
+    # 2. Build the index through the engine registry. Every index
+    #    family is a string-keyed method ("qbs" is the paper's);
+    #    num_landmarks=20 is the paper's default, this toy graph gets
+    #    3. Landmarks default to the highest-degree vertices.
     # ------------------------------------------------------------------
-    index = QbSIndex.build(graph, num_landmarks=3)
+    print(f"registered index methods: {available_methods()}")
+    index = build_index(graph, method="qbs", num_landmarks=3)
     print(f"landmarks: {sorted(int(r) for r in index.landmarks)}")
     print(f"meta-graph edges: {index.meta_graph.edges}")
     print(f"construction took {index.report.total_seconds * 1e3:.2f} ms")
@@ -56,14 +69,39 @@ def main() -> None:
     # 4. Cross-check against the online baselines — always identical.
     # ------------------------------------------------------------------
     assert spg == spg_oracle(graph, u, v)
-    assert spg == BiBFS(graph).query(u, v)
+    assert spg == build_index(graph, "bibfs").query(u, v)
     print("\ncross-check vs BFS oracle and Bi-BFS: OK")
 
     # ------------------------------------------------------------------
-    # 5. Scale up: a 3,000-vertex hub-dominated graph, parallel build.
+    # 5. Persist and reload: every family round-trips through one
+    #    self-describing npz format; the loader dispatches on the
+    #    method recorded in the file.
+    # ------------------------------------------------------------------
+    handle, path = tempfile.mkstemp(suffix=".idx")
+    os.close(handle)
+    index.save(path)
+    reloaded = load_index(path)
+    assert reloaded.query(u, v) == spg
+    print(f"saved + reloaded index ({reloaded.method}, "
+          f"{os.path.getsize(path)} bytes on disk)")
+    os.unlink(path)
+
+    # ------------------------------------------------------------------
+    # 6. Batch queries through a session: pick a mode, add an LRU
+    #    cache, collect search statistics.
+    # ------------------------------------------------------------------
+    session = QuerySession(index, QueryOptions(
+        mode="count-paths", cache_size=64, collect_stats=True))
+    batch = session.run([(6, 12), (0, 9), (6, 12), (4, 11)])
+    print(f"batch results (path counts): {batch.results}")
+    print(f"  mean query time: {batch.mean_query_ms():.3f} ms, "
+          f"cache hits: {batch.cache_hits}")
+
+    # ------------------------------------------------------------------
+    # 7. Scale up: a 3,000-vertex hub-dominated graph, parallel build.
     # ------------------------------------------------------------------
     big = barabasi_albert(3000, m=3, seed=42)
-    index = QbSIndex.build(big, num_landmarks=20, parallel=True)
+    index = build_index(big, "qbs", num_landmarks=20, parallel=True)
     report = index.report
     print(f"\nbig graph: {big}")
     print(f"parallel construction: {report.total_seconds * 1e3:.1f} ms "

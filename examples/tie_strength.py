@@ -17,7 +17,7 @@ Run with::
     python examples/tie_strength.py
 """
 
-from repro import QbSIndex
+from repro import build_index
 from repro.workloads import load_dataset, sample_pairs
 
 
@@ -32,7 +32,7 @@ def tie_profile(spg):
 
 def main() -> None:
     graph = load_dataset("douban")
-    index = QbSIndex.build(graph, num_landmarks=20)
+    index = build_index(graph, "qbs", num_landmarks=20)
     pairs = sample_pairs(graph, 400, seed=5)
 
     scored = []

@@ -5,17 +5,46 @@ Shortest Path Graph Queries on Very Large Networks* (SIGMOD 2021).
 
 Quickstart::
 
-    from repro import Graph, QbSIndex
+    from repro import Graph, build_index
 
     graph = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
-    index = QbSIndex.build(graph, num_landmarks=2)
+    index = build_index(graph, method="qbs", num_landmarks=2)
     spg = index.query(0, 2)          # shortest path graph, exactly
     spg.distance                     # 2
     sorted(spg.edges)                # [(0, 1), (0, 3), (1, 2), (2, 3)]
     spg.count_paths()                # 2
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
-the table/figure reproductions.
+Engine API (``repro.engine``)
+-----------------------------
+
+Every index family — QbS and each baseline the paper benchmarks it
+against — plugs into one engine surface:
+
+* **Registry** — families are string-keyed; ``build_index(graph,
+  method=..., **params)`` is the single construction entry point,
+  ``available_methods()`` enumerates what is registered (``"qbs"``,
+  ``"ppl"``, ``"parent-ppl"``, ``"naive"``, ``"bibfs"``,
+  ``"qbs-directed"``), and ``@register_index("name")`` drops a new
+  backend in with zero call-site edits.
+* **PathIndex contract** — every built index answers ``distance(u,
+  v)``, ``query(u, v)`` (the exact shortest path graph),
+  ``query_many(pairs)``, and exposes ``stats`` and ``size_bytes``
+  under the paper's byte-accounting models.
+* **Persistence** — ``index.save(path)`` / ``load_index(path)`` speak
+  one self-describing, pickle-free npz/json format for every family;
+  the loader dispatches through the registry.
+* **Sessions** — ``QuerySession(index, QueryOptions(...))`` executes
+  batches with a query mode (``distance`` | ``spg`` |
+  ``count-paths``), an optional wall-clock budget (truncating, never
+  raising), per-query ``SearchStats`` aggregation, and an optional
+  LRU result cache.
+
+The historical per-family classes (``QbSIndex``, ``PPLIndex``, ...)
+remain exported for back-compatibility; ``build_index`` returns
+engine-enabled subclasses of them.
+
+See ``README.md`` for the system inventory and ``python -m repro
+--help`` for the experiment, ``build`` and ``query`` commands.
 """
 
 from .baselines import BiBFS, NaiveLabelling, ParentPPLIndex, PPLIndex, \
@@ -28,18 +57,29 @@ from .core import (
     bidirectional_spg,
     select_landmarks,
 )
+from .engine import (
+    BatchReport,
+    PathIndex,
+    QueryOptions,
+    QuerySession,
+    available_methods,
+    build_index,
+    load_index,
+    register_index,
+)
 from .errors import (
     BudgetExceededError,
     GraphFormatError,
     GraphValidationError,
     IndexBuildError,
+    IndexFormatError,
     QueryError,
     ReproError,
     VertexError,
 )
 from .graph import Graph, GraphBuilder, build_graph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -57,11 +97,20 @@ __all__ = [
     "NaiveLabelling",
     "spg_oracle",
     "bidirectional_spg",
+    "PathIndex",
+    "build_index",
+    "available_methods",
+    "register_index",
+    "load_index",
+    "QuerySession",
+    "QueryOptions",
+    "BatchReport",
     "ReproError",
     "GraphFormatError",
     "GraphValidationError",
     "VertexError",
     "IndexBuildError",
+    "IndexFormatError",
     "BudgetExceededError",
     "QueryError",
 ]

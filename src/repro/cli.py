@@ -1,20 +1,46 @@
-"""Command-line entry point: ``python -m repro <experiment>``.
+"""Command-line entry point: ``python -m repro <command>``.
 
-Runs one of the paper's experiments on the synthetic stand-ins and
-prints the resulting table. Examples::
+Three kinds of commands:
 
-    python -m repro table1
-    python -m repro table2-query --datasets douban dblp --pairs 100
-    python -m repro fig8 --landmarks 20 60 100
+* **experiment runners** — regenerate one of the paper's tables or
+  figures on the synthetic stand-ins and print it::
+
+      python -m repro table1
+      python -m repro table2-query --datasets douban dblp --pairs 100
+      python -m repro fig8 --landmarks 20 60 100
+
+* **build** — construct any registered index family over a stand-in
+  through the :mod:`repro.engine` registry and persist it in the
+  uniform npz format::
+
+      python -m repro build --method qbs --dataset douban \\
+          --out douban.idx --param num_landmarks=20
+
+* **query** — load a saved index and answer a batch through a
+  :class:`~repro.engine.session.QuerySession`::
+
+      python -m repro query --index douban.idx --random 20 \\
+          --mode count-paths --cache 256
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from . import harness
+from .engine import (
+    QueryOptions,
+    QuerySession,
+    available_methods,
+    build_index,
+    get_index_class,
+    load_index,
+)
+from .engine.session import QUERY_MODES
+from .errors import ReproError
 
 _EXPERIMENTS = {
     "table1": harness.run_table1,
@@ -33,48 +59,201 @@ _EXPERIMENTS = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Reproduce the QbS paper's tables and figures "
-                    "on synthetic dataset stand-ins.",
+        description="Reproduce the QbS paper's tables and figures on "
+                    "synthetic dataset stand-ins, or build and query "
+                    "indexes through the engine registry.",
     )
-    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
-                        help="which table/figure to regenerate")
-    parser.add_argument("--datasets", nargs="+", default=None,
-                        help="restrict to these stand-ins "
-                             "(default: all twelve)")
-    parser.add_argument("--pairs", type=int, default=None,
-                        help="query pairs per dataset "
-                             "(default: scaled to graph size)")
-    parser.add_argument("--landmarks", nargs="+", type=int, default=None,
-                        help="landmark counts for sweep experiments")
+    commands = parser.add_subparsers(dest="experiment", required=True,
+                                     metavar="command")
+
+    experiment_flags = argparse.ArgumentParser(add_help=False)
+    experiment_flags.add_argument(
+        "--datasets", nargs="+", default=None,
+        help="restrict to these stand-ins (default: all twelve)")
+    experiment_flags.add_argument(
+        "--pairs", type=int, default=None,
+        help="query pairs per dataset (default: scaled to graph size)")
+    experiment_flags.add_argument(
+        "--landmarks", nargs="+", type=int, default=None,
+        help="landmark counts for sweep experiments")
+    for name in sorted(_EXPERIMENTS):
+        commands.add_parser(
+            name, parents=[experiment_flags],
+            help=f"regenerate {name} on the stand-ins")
+
+    build_cmd = commands.add_parser(
+        "build", help="build an index via the registry and save it")
+    build_cmd.add_argument("--method", default="qbs",
+                           choices=available_methods(),
+                           help="registered index family")
+    build_cmd.add_argument("--dataset", required=True,
+                           help="stand-in dataset to index")
+    build_cmd.add_argument("--out", required=True,
+                           help="output path (uniform npz format)")
+    build_cmd.add_argument("--param", action="append", default=[],
+                           metavar="KEY=VALUE",
+                           help="build parameter, e.g. num_landmarks=20 "
+                                "(JSON values; repeatable)")
+
+    query_cmd = commands.add_parser(
+        "query", help="load a saved index and answer a query batch")
+    query_cmd.add_argument("--index", required=True,
+                           help="path written by the build command")
+    query_cmd.add_argument("--mode", default="spg", choices=QUERY_MODES,
+                           help="what to compute per pair")
+    query_cmd.add_argument("--pair", action="append", nargs=2, type=int,
+                           default=None, metavar=("U", "V"),
+                           help="explicit query pair (repeatable)")
+    query_cmd.add_argument("--random", type=int, default=None,
+                           metavar="N",
+                           help="sample N random pairs instead")
+    query_cmd.add_argument("--seed", type=int, default=0,
+                           help="seed for --random sampling")
+    query_cmd.add_argument("--cache", type=int, default=0,
+                           help="LRU result cache size (0: off)")
+    query_cmd.add_argument("--budget", type=float, default=None,
+                           help="wall-clock seconds before truncating")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
+    if args.experiment == "build":
+        return _run_build(args)
+    if args.experiment == "query":
+        return _run_query(args)
     runner = _EXPERIMENTS[args.experiment]
+    accepted = _accepts(runner)
     kwargs = {}
     if args.datasets is not None:
         kwargs["names"] = args.datasets
-    if args.pairs is not None and "pairs" in _accepts(runner):
+    if args.pairs is not None and "pairs" in accepted:
         kwargs["num_pairs"] = args.pairs
-    if args.landmarks is not None and "landmarks" in _accepts(runner):
+    if args.landmarks is not None and "landmarks" in accepted:
         kwargs["landmark_counts"] = args.landmarks
     rows = runner(**kwargs)
     print(harness.format_rows(rows))
     return 0
 
 
-def _accepts(runner) -> str:
-    """Map runner signature to the CLI flags it understands."""
+def _accepts(runner) -> Set[str]:
+    """Map a runner signature to the set of CLI flags it understands.
+
+    Returned as a *set* so membership tests are exact — a space-joined
+    string matched with substring ``in`` would silently accept any
+    flag whose name is a substring of another.
+    """
     import inspect
 
     params = inspect.signature(runner).parameters
-    accepted = []
+    accepted = set()
     if "num_pairs" in params:
-        accepted.append("pairs")
+        accepted.add("pairs")
     if "landmark_counts" in params:
-        accepted.append("landmarks")
-    return " ".join(accepted)
+        accepted.add("landmarks")
+    return accepted
+
+
+# ----------------------------------------------------------------------
+# build / query subcommands
+# ----------------------------------------------------------------------
+
+def _parse_params(items: List[str]) -> dict:
+    """``KEY=VALUE`` pairs -> kwargs; values parsed as JSON or kept
+    as strings, dashes in keys normalized to underscores."""
+    params = {}
+    for item in items:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ReproError(
+                f"--param needs KEY=VALUE, got {item!r}"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        params[key.replace("-", "_")] = value
+    return params
+
+
+def _run_build(args) -> int:
+    from .directed import DiGraph
+    from .workloads import load_dataset
+
+    graph = load_dataset(args.dataset)
+    if get_index_class(args.method).directed:
+        # The stand-ins are undirected; serve directed methods the
+        # symmetric orientation (every edge becomes two arcs).
+        graph = DiGraph(graph.indptr, graph.indices,
+                        graph.indptr, graph.indices)
+    index = build_index(graph, args.method,
+                        **_parse_params(args.param))
+    index.save(args.out)
+    rows = [{"key": key, "value": value}
+            for key, value in index.stats.items()]
+    print(harness.format_rows(rows, columns=("key", "value")))
+    print(f"saved {args.method} index for {args.dataset!r} "
+          f"to {args.out}")
+    return 0
+
+
+def _run_query(args) -> int:
+    index = load_index(args.index)
+    if args.pair:
+        pairs = [tuple(pair) for pair in args.pair]
+    elif args.random is not None:
+        if args.random <= 0:
+            raise ReproError("--random needs a positive pair count")
+        from .workloads import sample_pairs
+
+        pairs = sample_pairs(index.graph, args.random, seed=args.seed)
+    else:
+        raise ReproError("give --pair U V (repeatable) or --random N")
+    session = QuerySession(index, QueryOptions(
+        mode=args.mode,
+        time_budget=args.budget,
+        collect_stats=True,
+        cache_size=args.cache,
+    ))
+    report = session.run(pairs)
+    rows = [{
+        "u": record.u,
+        "v": record.v,
+        args.mode: _render_value(record.value),
+        "ms": record.seconds * 1000.0,
+        "cached": "yes" if record.cached else "-",
+    } for record in report.records]
+    print(harness.format_rows(rows))
+    aggregate = report.aggregate_stats()
+    summary = (f"{aggregate['num_queries']} queries in "
+               f"{aggregate['elapsed_seconds'] * 1000.0:.2f}ms "
+               f"(mean {aggregate['mean_query_ms']:.3f}ms, "
+               f"{aggregate['cache_hits']} cache hits)")
+    if report.truncated:
+        summary += " [truncated by --budget]"
+    print(summary)
+    return 0
+
+
+def _render_value(value) -> str:
+    if value is None:
+        return "unreachable"
+    if isinstance(value, int):
+        return str(value)
+    if value.distance is None:
+        return "unreachable"
+    size = getattr(value, "num_edges", None)
+    if size is None:
+        size = value.num_arcs
+    return f"d={value.distance} |E|={size}"
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,74 @@
+"""The unified PathIndex engine: one registry, one query surface, one
+persistence format for every index family.
+
+This package is the canonical API for building and querying
+shortest-path-graph indexes. The paper's method (QbS) and every
+baseline it is benchmarked against plug into the same three pieces:
+
+* :class:`~repro.engine.base.PathIndex` — the uniform index contract
+  (``build`` / ``distance`` / ``query`` / ``query_many`` / ``stats`` /
+  ``size_bytes`` / ``save`` / ``load``);
+* the **registry** — :func:`register_index`, :func:`build_index`,
+  :func:`available_methods`; families are string-keyed (``"qbs"``,
+  ``"ppl"``, ``"parent-ppl"``, ``"naive"``, ``"bibfs"``,
+  ``"qbs-directed"``) and new backends are a one-decorator drop-in;
+* :class:`QuerySession` / :class:`QueryOptions` — batched query
+  execution with modes (distance | spg | count-paths), wall-clock
+  budgets, per-query :class:`~repro.core.search.SearchStats`
+  aggregation, and an optional LRU result cache.
+
+Typical use::
+
+    from repro import build_index, load_index, QuerySession, QueryOptions
+
+    index = build_index(graph, method="qbs", num_landmarks=20)
+    index.save("qbs.idx")                       # uniform npz format
+
+    session = QuerySession(load_index("qbs.idx"),
+                           QueryOptions(mode="count-paths",
+                                        cache_size=1024))
+    report = session.run(pairs)
+    report.results, report.mean_query_ms(), report.aggregate_stats()
+"""
+
+from .base import PathIndex
+from .persist import load_index, peek_index, save_index
+from .registry import (
+    available_methods,
+    build_index,
+    get_index_class,
+    register_index,
+)
+from .session import BatchReport, QueryOptions, QueryRecord, QuerySession
+
+# Importing the families module registers the six built-in methods.
+from . import families  # noqa: F401  (import for side effect)
+from .families import (
+    BiBfsPathIndex,
+    DirectedQbsPathIndex,
+    NaivePathIndex,
+    ParentPplPathIndex,
+    PplPathIndex,
+    QbsPathIndex,
+)
+
+__all__ = [
+    "PathIndex",
+    "register_index",
+    "build_index",
+    "available_methods",
+    "get_index_class",
+    "save_index",
+    "load_index",
+    "peek_index",
+    "QuerySession",
+    "QueryOptions",
+    "QueryRecord",
+    "BatchReport",
+    "QbsPathIndex",
+    "PplPathIndex",
+    "ParentPplPathIndex",
+    "NaivePathIndex",
+    "BiBfsPathIndex",
+    "DirectedQbsPathIndex",
+]

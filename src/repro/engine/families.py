@@ -1,0 +1,436 @@
+"""Registered index families: the six backends behind the engine API.
+
+Each class below subclasses one of the historical index classes and
+mixes in :class:`~repro.engine.base.PathIndex`, adding exactly what
+the uniform contract needs — ``size_bytes``, ``stats``, and the
+``to_state``/``from_state`` pair behind the npz persistence format.
+The historical classes keep their behaviour and public names
+(``repro.QbSIndex`` still works); the registry hands out these
+subclasses, so anything built through ``build_index`` speaks the full
+engine surface.
+
+Registered methods:
+
+=============== ==================================================
+``qbs``         Query-by-Sketch (the paper's method, §4-§5)
+``ppl``         Pruned Path Labelling (§3.2, Algorithm 1)
+``parent-ppl``  PPL with parent sets (§3.2)
+``naive``       Full path labelling (all-pairs BFS matrix)
+``bibfs``       Online bidirectional BFS (no precomputation)
+``qbs-directed`` Directed QbS (the §2 extension)
+=============== ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.bibfs import BiBFS
+from ..baselines.naive import NaiveLabelling
+from ..baselines.parent_ppl import ParentPPLIndex
+from ..baselines.ppl import PPLIndex
+from ..core.labelling import PathLabelling
+from ..core.metagraph import build_meta_graph
+from ..core.qbs import BuildReport, QbSIndex
+from ..directed.digraph import DiGraph, _csr
+from ..directed.qbs import DirectedQbSIndex, _DirectedScheme, \
+    _meta_distances
+from ..errors import IndexBuildError
+from ..graph.csr import Graph
+from .base import PathIndex
+from .registry import register_index
+
+__all__ = [
+    "QbsPathIndex",
+    "PplPathIndex",
+    "ParentPplPathIndex",
+    "NaivePathIndex",
+    "BiBfsPathIndex",
+    "DirectedQbsPathIndex",
+]
+
+
+# ----------------------------------------------------------------------
+# Array (de)serialization helpers
+# ----------------------------------------------------------------------
+
+def _graph_arrays(graph: Graph) -> Dict[str, np.ndarray]:
+    return {"indptr": graph.indptr, "indices": graph.indices}
+
+
+def _graph_from_arrays(arrays: Dict[str, np.ndarray]) -> Graph:
+    # Validate on load: archives may be truncated or hand-edited, and
+    # an inconsistent CSR would otherwise surface as silently wrong
+    # answers deep inside a BFS.
+    return Graph(arrays["indptr"], arrays["indices"], validate=True)
+
+
+def _pack_pairs(keys: Sequence[Tuple[int, int]],
+                values: Sequence[int]) -> Dict[str, np.ndarray]:
+    """Encode a ``(i, j) -> weight`` mapping as two arrays."""
+    if keys:
+        key_array = np.asarray(keys, dtype=np.int32)
+        value_array = np.asarray(values, dtype=np.int32)
+    else:
+        key_array = np.zeros((0, 2), dtype=np.int32)
+        value_array = np.zeros(0, dtype=np.int32)
+    return {"key": key_array, "value": value_array}
+
+
+def _unpack_pairs(key_array: np.ndarray,
+                  value_array: np.ndarray) -> Dict[Tuple[int, int], int]:
+    return {(int(i), int(j)): int(w)
+            for (i, j), w in zip(key_array.tolist(),
+                                 value_array.tolist())}
+
+
+def _flatten_ragged(lists: Sequence[Sequence[int]], dtype
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Ragged list-of-lists -> (offsets[n+1], flat) arrays."""
+    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+    if len(lists):
+        offsets[1:] = np.cumsum([len(x) for x in lists])
+    flat = np.empty(int(offsets[-1]), dtype=dtype)
+    position = 0
+    for values in lists:
+        flat[position:position + len(values)] = values
+        position += len(values)
+    return offsets, flat
+
+
+def _split_ragged(offsets: np.ndarray, flat: np.ndarray) -> List[List[int]]:
+    return [flat[offsets[i]:offsets[i + 1]].tolist()
+            for i in range(len(offsets) - 1)]
+
+
+# ----------------------------------------------------------------------
+# QbS (the paper's method)
+# ----------------------------------------------------------------------
+
+@register_index("qbs")
+class QbsPathIndex(QbSIndex, PathIndex):
+    """Query-by-Sketch behind the engine contract."""
+
+    @property
+    def size_bytes(self) -> int:
+        """size(L) + size(M) + size(Δ) under the paper's models."""
+        return (self.labelling.paper_size_bytes()
+                + self.meta_graph.paper_size_bytes()
+                + self.meta_graph.delta_total_edges() * 8)
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        base = PathIndex.stats.fget(self)
+        base.update({
+            "num_landmarks": int(self.report.num_landmarks),
+            "label_entries": self.labelling.size_entries(),
+            "meta_edges": len(self.meta_graph.edges),
+            "delta_edges": self.meta_graph.delta_total_edges(),
+            "build_seconds": self.report.total_seconds,
+        })
+        return base
+
+    # -- persistence ----------------------------------------------------
+
+    def to_state(self):
+        labelling = self.labelling
+        meta_graph = self.meta_graph
+        meta_keys = sorted(meta_graph.edges)
+        meta_pairs = _pack_pairs(meta_keys,
+                                 [meta_graph.edges[k] for k in meta_keys])
+        delta_keys = sorted(meta_graph.delta)
+        delta_lengths = np.asarray(
+            [len(meta_graph.delta[k]) for k in delta_keys], dtype=np.int64
+        )
+        delta_edges = [edge for key in delta_keys
+                       for edge in sorted(meta_graph.delta[key])]
+        arrays = {
+            **_graph_arrays(self.graph),
+            "landmarks": labelling.landmarks,
+            "label_matrix": labelling.label_matrix,
+            "meta_key": meta_pairs["key"],
+            "meta_weight": meta_pairs["value"],
+            "delta_key": (np.asarray(delta_keys, dtype=np.int32)
+                          if delta_keys
+                          else np.zeros((0, 2), dtype=np.int32)),
+            "delta_len": delta_lengths,
+            "delta_edges": (np.asarray(delta_edges, dtype=np.int32)
+                            if delta_edges
+                            else np.zeros((0, 2), dtype=np.int32)),
+        }
+        return {"report": asdict(self.report)}, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays):
+        graph = _graph_from_arrays(arrays)
+        landmarks = arrays["landmarks"].astype(np.int32)
+        position = np.full(graph.num_vertices, -1, dtype=np.int32)
+        position[landmarks] = np.arange(len(landmarks), dtype=np.int32)
+        labelling = PathLabelling(
+            landmarks=landmarks,
+            landmark_position=position,
+            label_matrix=arrays["label_matrix"].astype(np.uint8),
+            meta_edges=_unpack_pairs(arrays["meta_key"],
+                                     arrays["meta_weight"]),
+        )
+        meta_graph = build_meta_graph(graph, labelling,
+                                      precompute_delta=False)
+        cursor = 0
+        edge_rows = arrays["delta_edges"]
+        for (i, j), length in zip(arrays["delta_key"].tolist(),
+                                  arrays["delta_len"].tolist()):
+            block = edge_rows[cursor:cursor + length]
+            meta_graph.delta[(int(i), int(j))] = frozenset(
+                (int(a), int(b)) for a, b in block.tolist()
+            )
+            cursor += length
+        report = BuildReport(**meta["report"])
+        sparsified = graph.remove_vertices(landmarks)
+        return cls(graph, labelling, meta_graph, sparsified, report)
+
+    # QbSIndex carries a historical pickle save/load; the engine
+    # subclass speaks the uniform npz format instead.
+    def save(self, path) -> None:
+        PathIndex.save(self, path)
+
+    @classmethod
+    def load(cls, path) -> "QbsPathIndex":
+        return PathIndex.load.__func__(cls, path)
+
+
+# ----------------------------------------------------------------------
+# PPL and ParentPPL
+# ----------------------------------------------------------------------
+
+@register_index("ppl")
+class PplPathIndex(PPLIndex, PathIndex):
+    """Pruned Path Labelling behind the engine contract."""
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def size_bytes(self) -> int:
+        return self.paper_size_bytes()
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        base = PathIndex.stats.fget(self)
+        base["label_entries"] = self.num_entries()
+        return base
+
+    def to_state(self):
+        rank_offsets, flat_ranks = _flatten_ragged(self._label_ranks,
+                                                   np.int64)
+        _, flat_dists = _flatten_ragged(self._label_dists, np.int32)
+        arrays = {
+            **_graph_arrays(self.graph),
+            "order": self._order,
+            "label_offsets": rank_offsets,
+            "label_ranks": flat_ranks,
+            "label_dists": flat_dists,
+        }
+        return {}, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays):
+        graph = _graph_from_arrays(arrays)
+        offsets = arrays["label_offsets"]
+        return cls(
+            graph,
+            arrays["order"].astype(np.int64),
+            _split_ragged(offsets, arrays["label_ranks"]),
+            _split_ragged(offsets, arrays["label_dists"]),
+        )
+
+
+@register_index("parent-ppl")
+class ParentPplPathIndex(ParentPPLIndex, PathIndex):
+    """ParentPPL behind the engine contract."""
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def size_bytes(self) -> int:
+        return self.paper_size_bytes()
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        base = PathIndex.stats.fget(self)
+        base["label_entries"] = self.num_entries()
+        base["parent_slots"] = self.num_parent_slots()
+        return base
+
+    def to_state(self):
+        rank_offsets, flat_ranks = _flatten_ragged(self._label_ranks,
+                                                   np.int64)
+        _, flat_dists = _flatten_ragged(self._label_dists, np.int32)
+        entry_parents = [parents for per_vertex in self._label_parents
+                         for parents in per_vertex]
+        parent_offsets, flat_parents = _flatten_ragged(entry_parents,
+                                                       np.int32)
+        arrays = {
+            **_graph_arrays(self.graph),
+            "order": self._order,
+            "label_offsets": rank_offsets,
+            "label_ranks": flat_ranks,
+            "label_dists": flat_dists,
+            "parent_offsets": parent_offsets,
+            "parents": flat_parents,
+        }
+        return {}, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays):
+        graph = _graph_from_arrays(arrays)
+        offsets = arrays["label_offsets"]
+        label_ranks = _split_ragged(offsets, arrays["label_ranks"])
+        label_dists = _split_ragged(offsets, arrays["label_dists"])
+        entry_parents = _split_ragged(arrays["parent_offsets"],
+                                      arrays["parents"])
+        label_parents: List[List[Tuple[int, ...]]] = []
+        cursor = 0
+        for ranks in label_ranks:
+            label_parents.append([
+                tuple(entry_parents[cursor + k])
+                for k in range(len(ranks))
+            ])
+            cursor += len(ranks)
+        return cls(graph, arrays["order"].astype(np.int64),
+                   label_ranks, label_dists, label_parents)
+
+
+# ----------------------------------------------------------------------
+# Naive labelling and Bi-BFS
+# ----------------------------------------------------------------------
+
+@register_index("naive")
+class NaivePathIndex(NaiveLabelling, PathIndex):
+    """Naive full path labelling behind the engine contract."""
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def size_bytes(self) -> int:
+        return self.paper_size_bytes()
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        base = PathIndex.stats.fget(self)
+        base["label_entries"] = self.num_entries()
+        return base
+
+    def to_state(self):
+        return {}, {**_graph_arrays(self.graph), "matrix": self._matrix}
+
+    @classmethod
+    def from_state(cls, meta, arrays):
+        return cls(_graph_from_arrays(arrays),
+                   arrays["matrix"].astype(np.int32))
+
+
+@register_index("bibfs")
+class BiBfsPathIndex(BiBFS, PathIndex):
+    """Online Bi-BFS behind the engine contract (no precomputation)."""
+
+    @classmethod
+    def build(cls, graph: Graph, **params) -> "BiBfsPathIndex":
+        if params:
+            raise IndexBuildError(
+                f"bibfs precomputes nothing and takes no build "
+                f"parameters; got {sorted(params)}"
+            )
+        return cls(graph)
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def size_bytes(self) -> int:
+        return 0
+
+    def to_state(self):
+        return {}, _graph_arrays(self.graph)
+
+    @classmethod
+    def from_state(cls, meta, arrays):
+        return cls(_graph_from_arrays(arrays))
+
+
+# ----------------------------------------------------------------------
+# Directed QbS
+# ----------------------------------------------------------------------
+
+@register_index("qbs-directed")
+class DirectedQbsPathIndex(DirectedQbSIndex, PathIndex):
+    """Directed Query-by-Sketch behind the engine contract."""
+
+    directed = True
+
+    @property
+    def size_bytes(self) -> int:
+        """Forward + backward labels (|R| bytes per vertex each, the
+        paper's §6.1 accounting) plus 9 bytes per meta arc."""
+        scheme = self._scheme
+        label_bytes = 2 * self.graph.num_vertices * len(scheme.landmarks)
+        return label_bytes + 9 * len(scheme.meta_arcs)
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        base = PathIndex.stats.fget(self)
+        base.update({
+            "num_landmarks": len(self.landmarks),
+            "meta_arcs": len(self._scheme.meta_arcs),
+        })
+        return base
+
+    def to_state(self):
+        graph = self.graph
+        scheme = self._scheme
+        arc_keys = sorted(scheme.meta_arcs)
+        meta_pairs = _pack_pairs(arc_keys,
+                                 [scheme.meta_arcs[k] for k in arc_keys])
+        arrays = {
+            "out_indptr": graph.out_indptr,
+            "out_indices": graph.out_indices,
+            "landmarks": scheme.landmarks,
+            "forward": scheme.forward,
+            "backward": scheme.backward,
+            "meta_key": meta_pairs["key"],
+            "meta_weight": meta_pairs["value"],
+        }
+        return {}, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays):
+        out_indptr = arrays["out_indptr"].astype(np.int64)
+        out_indices = arrays["out_indices"].astype(np.int32)
+        n = len(out_indptr) - 1
+        src = np.repeat(np.arange(n, dtype=np.int32),
+                        np.diff(out_indptr))
+        graph = DiGraph(*_csr(src, out_indices, n),
+                        *_csr(out_indices, src, n))
+        landmarks = arrays["landmarks"].astype(np.int32)
+        position = np.full(n, -1, dtype=np.int32)
+        position[landmarks] = np.arange(len(landmarks), dtype=np.int32)
+        scheme = _DirectedScheme(
+            landmarks=landmarks,
+            position=position,
+            forward=arrays["forward"].astype(np.uint8),
+            backward=arrays["backward"].astype(np.uint8),
+            meta_arcs=_unpack_pairs(arrays["meta_key"],
+                                    arrays["meta_weight"]),
+        )
+        scheme.meta_dist = _meta_distances(scheme.meta_arcs,
+                                           len(landmarks))
+        sparsified = graph.remove_vertices(landmarks)
+        return cls(graph, scheme, sparsified)

@@ -1,0 +1,145 @@
+"""Uniform index persistence: one npz/json format for every family.
+
+A saved index is a single compressed ``.npz`` archive whose
+``__meta__`` entry is a JSON header::
+
+    {"format": "repro-pathindex", "version": 1,
+     "method": "<registry key>", "state": {...family metadata...}}
+
+and whose remaining entries are the family's numpy arrays (from
+``PathIndex.to_state``). Properties of the format:
+
+* **self-describing** — ``load_index`` reads the method name from the
+  header and dispatches through the registry, so one loader serves
+  every family, including ones registered after this module shipped;
+* **pickle-free** — written and read with ``allow_pickle=False``;
+  unlike the historical QbS pickle files, archives cannot execute
+  code on load and are portable across Python versions;
+* **inspectable** — ``peek_index(path)`` returns the header without
+  reconstructing the index.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import GraphValidationError, IndexFormatError
+from .base import PathIndex
+from .registry import get_index_class
+
+__all__ = ["save_index", "load_index", "peek_index",
+           "FORMAT_NAME", "FORMAT_VERSION"]
+
+FORMAT_NAME = "repro-pathindex"
+FORMAT_VERSION = 1
+
+#: Reserved archive entry holding the JSON header.
+_META_KEY = "__meta__"
+
+
+def save_index(index: PathIndex, path) -> None:
+    """Write ``index`` to ``path`` in the uniform format.
+
+    The file is written through an open handle so the name is taken
+    literally (``np.savez`` would append ``.npz`` to bare paths).
+    """
+    meta, arrays = index.to_state()
+    if _META_KEY in arrays:
+        raise IndexFormatError(
+            f"array name {_META_KEY!r} is reserved for the header"
+        )
+    header = json.dumps({
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "method": index.method,
+        "state": meta,
+    })
+    try:
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle,
+                                **{_META_KEY: np.asarray(header)},
+                                **arrays)
+    except OSError as exc:
+        raise IndexFormatError(
+            f"{path}: cannot write index archive ({exc})"
+        ) from exc
+
+
+def _read_archive(path, with_arrays: bool):
+    """Open a saved index, returning ``(header, arrays_or_None)``.
+
+    All I/O and structural failures are normalized to
+    :class:`IndexFormatError` here, so :func:`peek_index` and
+    :func:`load_index` cannot drift apart in what they accept.
+    """
+    try:
+        with open(path, "rb") as handle:
+            with np.load(handle, allow_pickle=False) as archive:
+                if _META_KEY not in archive.files:
+                    raise IndexFormatError(
+                        f"{path}: no {_META_KEY} entry; not a repro "
+                        f"index file"
+                    )
+                header = _check_header(path, str(archive[_META_KEY][()]))
+                arrays = None
+                if with_arrays:
+                    arrays = {name: archive[name]
+                              for name in archive.files
+                              if name != _META_KEY}
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise IndexFormatError(
+            f"{path}: not a repro index archive ({exc})"
+        ) from exc
+    return header, arrays
+
+
+def peek_index(path) -> Dict[str, Any]:
+    """Read and validate the JSON header of a saved index."""
+    header, _ = _read_archive(path, with_arrays=False)
+    return header
+
+
+def load_index(path) -> PathIndex:
+    """Load a saved index of any registered family."""
+    header, arrays = _read_archive(path, with_arrays=True)
+    try:
+        cls = get_index_class(header["method"])
+    except Exception as exc:
+        raise IndexFormatError(
+            f"{path}: saved method {header['method']!r} has no "
+            f"registered implementation"
+        ) from exc
+    try:
+        return cls.from_state(header.get("state", {}), arrays)
+    except IndexFormatError:
+        raise
+    except (KeyError, IndexError, ValueError, TypeError,
+            GraphValidationError) as exc:
+        raise IndexFormatError(
+            f"{path}: {header['method']!r} archive is incomplete or "
+            f"corrupt ({exc!r})"
+        ) from exc
+
+
+def _check_header(path, raw: str) -> Dict[str, Any]:
+    try:
+        header = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise IndexFormatError(
+            f"{path}: malformed index header"
+        ) from exc
+    if not isinstance(header, dict) \
+            or header.get("format") != FORMAT_NAME:
+        raise IndexFormatError(f"{path}: not a repro index file")
+    if header.get("version") != FORMAT_VERSION:
+        raise IndexFormatError(
+            f"{path}: format version {header.get('version')!r} is not "
+            f"supported (expected {FORMAT_VERSION})"
+        )
+    if not isinstance(header.get("method"), str):
+        raise IndexFormatError(f"{path}: header is missing the method")
+    return header

@@ -1,0 +1,215 @@
+"""Query sessions: batched execution with options, stats, and caching.
+
+A :class:`QuerySession` wraps any :class:`~repro.engine.base.PathIndex`
+and executes query batches under a :class:`QueryOptions` policy:
+
+* **mode** — what to compute per pair: ``"distance"`` (fast path where
+  the family has one), ``"spg"`` (the full shortest path graph) or
+  ``"count-paths"`` (the Figure-1 quantity, via the SPG's DAG dynamic
+  program);
+* **time budget** — an optional wall-clock cap; a batch stops early
+  and is reported as truncated instead of blowing the serving SLA;
+* **stats** — per-query :class:`~repro.core.search.SearchStats` where
+  the family is instrumented, aggregated over the batch (the §6.5
+  traversal accounting);
+* **cache** — an optional LRU result cache keyed by ``(u, v, mode)``;
+  repeated pairs in a workload (the common case for serving traffic)
+  are answered without touching the index.
+
+The harness's timing loops and the CLI ``query`` subcommand both run
+on sessions, so every index family gets batching, budgets and caching
+without implementing any of it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .._util import Stopwatch
+from ..core.search import SearchStats
+from ..errors import QueryError
+from .base import PathIndex
+
+__all__ = ["QueryOptions", "QueryRecord", "BatchReport", "QuerySession"]
+
+#: Valid ``QueryOptions.mode`` values.
+QUERY_MODES = ("distance", "spg", "count-paths")
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Execution policy for a :class:`QuerySession`.
+
+    Attributes
+    ----------
+    mode:
+        Per-pair computation: ``"distance"``, ``"spg"`` or
+        ``"count-paths"``.
+    time_budget:
+        Wall-clock seconds a batch may spend; ``None`` means no cap.
+        An exhausted budget truncates the batch (it never raises —
+        partial results are the point of a budget).
+    collect_stats:
+        Record per-query :class:`SearchStats` where the family
+        provides them (``"spg"``/``"count-paths"`` modes only).
+    cache_size:
+        Capacity of the LRU result cache; ``0`` disables caching.
+    """
+
+    mode: str = "spg"
+    time_budget: Optional[float] = None
+    collect_stats: bool = False
+    cache_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in QUERY_MODES:
+            raise QueryError(
+                f"unknown query mode {self.mode!r}; "
+                f"expected one of {QUERY_MODES}"
+            )
+        if self.cache_size < 0:
+            raise QueryError("cache_size must be >= 0")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise QueryError("time_budget must be positive")
+
+
+@dataclass
+class QueryRecord:
+    """One executed query: inputs, result, and instrumentation."""
+
+    u: int
+    v: int
+    value: Any
+    seconds: float
+    cached: bool = False
+    stats: Optional[SearchStats] = None
+
+
+@dataclass
+class BatchReport:
+    """Outcome of :meth:`QuerySession.run` over one batch."""
+
+    mode: str
+    records: List[QueryRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+    truncated: bool = False
+
+    @property
+    def results(self) -> List[Any]:
+        """Per-pair values, in input order (distance/SPG/count)."""
+        return [record.value for record in self.records]
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for record in self.records if record.cached)
+
+    def mean_query_ms(self) -> float:
+        """Mean wall-clock per executed query, in milliseconds."""
+        if not self.records:
+            return 0.0
+        return self.elapsed * 1000.0 / len(self.records)
+
+    def aggregate_stats(self) -> Dict[str, Any]:
+        """Fold the per-query :class:`SearchStats` into batch totals."""
+        collected = [r.stats for r in self.records if r.stats is not None]
+        return {
+            "num_queries": self.num_queries,
+            "cache_hits": self.cache_hits,
+            "truncated": self.truncated,
+            "elapsed_seconds": self.elapsed,
+            "mean_query_ms": self.mean_query_ms(),
+            "queries_with_stats": len(collected),
+            "edges_traversed": sum(s.edges_traversed for s in collected),
+            "used_reverse": sum(1 for s in collected if s.used_reverse),
+            "used_recover": sum(1 for s in collected if s.used_recover),
+        }
+
+
+class QuerySession:
+    """Batch query executor over one index.
+
+    Sessions are cheap to create and hold only the LRU cache as
+    mutable state; one session per workload (or per serving worker)
+    is the intended granularity.
+    """
+
+    def __init__(self, index: PathIndex,
+                 options: Optional[QueryOptions] = None) -> None:
+        self._index = index
+        self.options = options if options is not None else QueryOptions()
+        self._cache: "OrderedDict[Tuple[int, int, str], Any]" = \
+            OrderedDict()
+
+    @property
+    def index(self) -> PathIndex:
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def query(self, u: int, v: int) -> QueryRecord:
+        """Execute one query under the session's options."""
+        options = self.options
+        key = (u, v, options.mode)
+        if options.cache_size:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                return QueryRecord(u=u, v=v, value=self._cache[key],
+                                   seconds=0.0, cached=True)
+        stats = None
+        with Stopwatch() as sw:
+            if options.mode == "distance":
+                value = self._index.distance(u, v)
+            else:
+                if options.collect_stats:
+                    spg, stats = self._index.query_with_stats(u, v)
+                else:
+                    spg = self._index.query(u, v)
+                value = spg if options.mode == "spg" else spg.count_paths()
+        if options.cache_size:
+            self._cache[key] = value
+            if len(self._cache) > options.cache_size:
+                self._cache.popitem(last=False)
+        return QueryRecord(u=u, v=v, value=value, seconds=sw.elapsed,
+                           stats=stats)
+
+    def run(self, pairs: Iterable[Tuple[int, int]]) -> BatchReport:
+        """Execute a batch, honouring the time budget if one is set.
+
+        The budget is checked between queries (queries are never
+        interrupted mid-flight); once exceeded, the remaining pairs
+        are skipped and the report is marked ``truncated``.
+        """
+        options = self.options
+        report = BatchReport(mode=options.mode)
+        deadline = None
+        if options.time_budget is not None:
+            deadline = time.perf_counter() + options.time_budget
+        with Stopwatch() as sw:
+            for u, v in pairs:
+                if deadline is not None \
+                        and time.perf_counter() > deadline:
+                    report.truncated = True
+                    break
+                report.records.append(self.query(u, v))
+        report.elapsed = sw.elapsed
+        return report
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

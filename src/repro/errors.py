@@ -60,3 +60,12 @@ class BudgetExceededError(IndexBuildError):
 
 class QueryError(ReproError):
     """Raised when a query cannot be answered (e.g. index not built)."""
+
+
+class IndexFormatError(ReproError):
+    """Raised when a persisted index file is malformed or mismatched.
+
+    Covers files that are not repro index archives at all, archives
+    written by an incompatible format version, and archives whose
+    recorded method has no registered implementation.
+    """

@@ -4,13 +4,17 @@ Each ``run_*`` function reproduces one experiment on the synthetic
 dataset stand-ins and returns a list of row dictionaries shaped like
 the paper's tables; :func:`format_rows` renders them as an aligned
 text table. The CLI (``python -m repro``) and the benchmark suite are
-thin wrappers around these functions, and EXPERIMENTS.md records their
-output against the paper's numbers.
+thin wrappers around these functions; see README.md for how the
+experiments map to the paper's tables and figures.
+
+All indexes are constructed through the :mod:`repro.engine` registry
+(``build_index``) and all timing loops run through
+:class:`~repro.engine.session.QuerySession`, so the harness measures
+exactly the canonical API every other consumer uses.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ._util import Stopwatch, TimeBudget, format_bytes, format_seconds
@@ -20,8 +24,7 @@ from .analysis import (
     pair_coverage,
     qbs_size_report,
 )
-from .baselines import BiBFS, ParentPPLIndex, PPLIndex
-from .core import QbSIndex
+from .engine import QueryOptions, QuerySession, build_index
 from .errors import BudgetExceededError
 from .workloads import (
     dataset_names,
@@ -116,10 +119,10 @@ def run_table2_construction(names: Optional[Iterable[str]] = None,
     for name in _datasets(names):
         graph = load_dataset(name)
         with Stopwatch() as sw_seq:
-            QbSIndex.build(graph, num_landmarks=num_landmarks)
+            build_index(graph, "qbs", num_landmarks=num_landmarks)
         with Stopwatch() as sw_par:
-            QbSIndex.build(graph, num_landmarks=num_landmarks,
-                           parallel=True)
+            build_index(graph, "qbs", num_landmarks=num_landmarks,
+                        parallel=True)
         row = {
             "dataset": name,
             "qbs_p": format_seconds(sw_par.elapsed),
@@ -128,11 +131,12 @@ def run_table2_construction(names: Optional[Iterable[str]] = None,
             "qbs_seconds": sw_seq.elapsed,
         }
         row["ppl"], row["ppl_seconds"] = _timed_build(
-            lambda budget: PPLIndex.build(graph, budget=budget),
+            lambda budget: build_index(graph, "ppl", budget=budget),
             ppl_budget if name in small else 0.5,
         )
         row["parent_ppl"], row["parent_ppl_seconds"] = _timed_build(
-            lambda budget: ParentPPLIndex.build(graph, budget=budget),
+            lambda budget: build_index(graph, "parent-ppl",
+                                       budget=budget),
             parent_budget if name in small else 0.5,
         )
         rows.append(row)
@@ -165,24 +169,24 @@ def run_table2_query(names: Optional[Iterable[str]] = None,
     for name in _datasets(names):
         graph = load_dataset(name)
         pairs = _workload(graph, num_pairs)
-        index = QbSIndex.build(graph, num_landmarks=num_landmarks)
-        bibfs = BiBFS(graph)
+        index = build_index(graph, "qbs", num_landmarks=num_landmarks)
+        bibfs = build_index(graph, "bibfs")
         row = {"dataset": name}
-        row["qbs_ms"] = _mean_query_ms(index.query, pairs)
-        row["bibfs_ms"] = _mean_query_ms(bibfs.query, pairs)
+        row["qbs_ms"] = _mean_query_ms(index, pairs)
+        row["bibfs_ms"] = _mean_query_ms(bibfs, pairs)
         row["ppl_ms"] = row["parent_ppl_ms"] = None
         if name in small:
             try:
                 budget = TimeBudget(ppl_budget, label="PPL construction")
-                ppl = PPLIndex.build(graph, budget=budget)
-                row["ppl_ms"] = _mean_query_ms(ppl.query, pairs)
+                ppl = build_index(graph, "ppl", budget=budget)
+                row["ppl_ms"] = _mean_query_ms(ppl, pairs)
             except BudgetExceededError:
                 pass
             try:
                 budget = TimeBudget(ppl_budget,
                                     label="ParentPPL construction")
-                parent = ParentPPLIndex.build(graph, budget=budget)
-                row["parent_ppl_ms"] = _mean_query_ms(parent.query, pairs)
+                parent = build_index(graph, "parent-ppl", budget=budget)
+                row["parent_ppl_ms"] = _mean_query_ms(parent, pairs)
             except (BudgetExceededError, MemoryError):
                 pass
         row["speedup_vs_bibfs"] = round(
@@ -192,12 +196,10 @@ def run_table2_query(names: Optional[Iterable[str]] = None,
     return rows
 
 
-def _mean_query_ms(query, pairs) -> float:
-    start = time.perf_counter()
-    for u, v in pairs:
-        query(u, v)
-    elapsed = time.perf_counter() - start
-    return elapsed * 1000.0 / len(pairs)
+def _mean_query_ms(index, pairs) -> float:
+    """Mean SPG-mode query time over ``pairs`` via a QuerySession."""
+    session = QuerySession(index, QueryOptions(mode="spg"))
+    return session.run(pairs).mean_query_ms()
 
 
 # ----------------------------------------------------------------------
@@ -212,7 +214,7 @@ def run_table3(names: Optional[Iterable[str]] = None,
     small = set(small_dataset_names())
     for name in _datasets(names):
         graph = load_dataset(name)
-        index = QbSIndex.build(graph, num_landmarks=num_landmarks)
+        index = build_index(graph, "qbs", num_landmarks=num_landmarks)
         report = qbs_size_report(index)
         row = {
             "dataset": name,
@@ -226,16 +228,18 @@ def run_table3(names: Optional[Iterable[str]] = None,
         }
         if name in small:
             try:
-                ppl = PPLIndex.build(
-                    graph, budget=TimeBudget(ppl_budget, label="PPL")
+                ppl = build_index(
+                    graph, "ppl",
+                    budget=TimeBudget(ppl_budget, label="PPL"),
                 )
-                row["ppl"] = format_bytes(ppl.paper_size_bytes())
-                row["ppl_bytes"] = ppl.paper_size_bytes()
-                parent = ParentPPLIndex.build(
-                    graph, budget=TimeBudget(ppl_budget, label="ParentPPL")
+                row["ppl"] = format_bytes(ppl.size_bytes)
+                row["ppl_bytes"] = ppl.size_bytes
+                parent = build_index(
+                    graph, "parent-ppl",
+                    budget=TimeBudget(ppl_budget, label="ParentPPL"),
                 )
-                row["parent_ppl"] = format_bytes(parent.paper_size_bytes())
-                row["parent_ppl_bytes"] = parent.paper_size_bytes()
+                row["parent_ppl"] = format_bytes(parent.size_bytes)
+                row["parent_ppl_bytes"] = parent.size_bytes
             except (BudgetExceededError, MemoryError):
                 pass
         rows.append(row)
@@ -278,7 +282,7 @@ def run_fig8(names: Optional[Iterable[str]] = None,
         graph = load_dataset(name)
         pairs = _workload(graph, num_pairs)
         for count in landmark_counts:
-            index = QbSIndex.build(graph, num_landmarks=count)
+            index = build_index(graph, "qbs", num_landmarks=count)
             report = pair_coverage(index, pairs)
             rows.append({
                 "dataset": name,
@@ -301,7 +305,7 @@ def run_fig9(names: Optional[Iterable[str]] = None,
     for name in _datasets(names):
         graph = load_dataset(name)
         for count in landmark_counts:
-            index = QbSIndex.build(graph, num_landmarks=count)
+            index = build_index(graph, "qbs", num_landmarks=count)
             report = qbs_size_report(index)
             rows.append({
                 "dataset": name,
@@ -327,7 +331,7 @@ def run_fig10(names: Optional[Iterable[str]] = None,
         graph = load_dataset(name)
         for count in landmark_counts:
             with Stopwatch() as sw:
-                QbSIndex.build(graph, num_landmarks=count)
+                build_index(graph, "qbs", num_landmarks=count)
             rows.append({
                 "dataset": name,
                 "landmarks": count,
@@ -346,11 +350,11 @@ def run_fig11(names: Optional[Iterable[str]] = None,
         graph = load_dataset(name)
         pairs = _workload(graph, num_pairs)
         for count in landmark_counts:
-            index = QbSIndex.build(graph, num_landmarks=count)
+            index = build_index(graph, "qbs", num_landmarks=count)
             rows.append({
                 "dataset": name,
                 "landmarks": count,
-                "query_ms": _mean_query_ms(index.query, pairs),
+                "query_ms": _mean_query_ms(index, pairs),
             })
     return rows
 
@@ -364,17 +368,16 @@ def run_remarks_traversal(names: Optional[Iterable[str]] = None,
                           num_pairs: Optional[int] = None) -> List[Dict]:
     """§6.5: edges traversed by QbS vs Bi-BFS on the same workload."""
     rows = []
+    options = QueryOptions(mode="spg", collect_stats=True)
     for name in _datasets(names):
         graph = load_dataset(name)
         pairs = _workload(graph, num_pairs)
-        index = QbSIndex.build(graph, num_landmarks=num_landmarks)
-        bibfs = BiBFS(graph)
-        qbs_edges = bibfs_edges = 0
-        for u, v in pairs:
-            _, stats = index.query_with_stats(u, v)
-            qbs_edges += stats.edges_traversed
-            _, stats = bibfs.query_with_stats(u, v)
-            bibfs_edges += stats.edges_traversed
+        index = build_index(graph, "qbs", num_landmarks=num_landmarks)
+        bibfs = build_index(graph, "bibfs")
+        qbs_edges = QuerySession(index, options).run(pairs) \
+            .aggregate_stats()["edges_traversed"]
+        bibfs_edges = QuerySession(bibfs, options).run(pairs) \
+            .aggregate_stats()["edges_traversed"]
         saving = 1.0 - qbs_edges / bibfs_edges if bibfs_edges else 0.0
         rows.append({
             "dataset": name,

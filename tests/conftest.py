@@ -1,68 +1,24 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Reusable constants and helper functions live in ``_corpus.py`` (an
+importable plain module); this file holds only pytest fixtures. Test
+modules must import helpers with ``from _corpus import ...`` — never
+``from conftest import ...`` — so that this conftest and the one in
+``benchmarks/`` can never shadow each other.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import Graph
-from repro.graph import (
-    barabasi_albert,
-    cycle_graph,
-    erdos_renyi,
-    grid_2d,
-    path_graph,
-    powerlaw_cluster,
-    watts_strogatz,
-)
+from repro.graph import cycle_graph, grid_2d, path_graph
+
+from _corpus import FIGURE3_EDGES, FIGURE4_EDGES
 
 # ----------------------------------------------------------------------
 # The paper's running examples
 # ----------------------------------------------------------------------
-
-#: Figure 3(a): 7 vertices (paper ids 1..7 -> 0..6). Query SPG(3, 7)
-#: (here SPG(2, 6)) has the multi-path answer discussed in §3.
-FIGURE3_EDGES = [
-    (0, 1), (0, 2),          # 1-2, 1-3
-    (1, 3), (1, 4), (1, 5),  # 2-4, 2-5, 2-6
-    (2, 3),                  # 3-4
-    (4, 5), (4, 6),          # 5-6, 5-7
-]
-
-#: Figure 4(a): 14 vertices (paper ids 1..14 -> 0..13), landmarks
-#: {1, 2, 3} -> {0, 1, 2}. Reconstructed so that the paper's
-#: Figure 4(b) meta-graph, the Figure 4(c) labelling table and the
-#: entire Figure 6 walk-through for SPG(6, 11) (here SPG(5, 10)) all
-#: hold exactly — including the frontier sets P6 = {5,7,8,14},
-#: P11 = {10,12,9,8}, the meeting vertex 8 and Z = {(12,3),(9,2),(6,1)}.
-FIGURE4_EDGES = [
-    (0, 1), (1, 2),                    # landmark chain 1-2, 2-3
-    (0, 3), (2, 3),                    # the 1-4-3 avoiding path
-    (0, 4), (0, 5), (4, 5),            # 1-5, 1-6, 5-6
-    (5, 6), (6, 7), (1, 7),            # 6-7, 7-8, 2-8
-    (7, 8), (1, 8),                    # 8-9, 2-9
-    (8, 9), (9, 10), (10, 11), (2, 11),  # 9-10, 10-11, 11-12, 3-12
-    (2, 12), (12, 13), (4, 13),        # 3-13, 13-14, 5-14
-]
-
-#: Figure 4(c), zero-indexed: vertex -> {landmark vertex: distance}.
-FIGURE4_LABELS = {
-    3: {0: 1, 2: 1},     # L(4)  = (1,1)(3,1)
-    4: {0: 1, 2: 3},     # L(5)  = (1,1)(3,3)
-    5: {0: 1},           # L(6)  = (1,1)
-    6: {0: 2, 1: 2},     # L(7)  = (1,2)(2,2)
-    7: {1: 1},           # L(8)  = (2,1)
-    8: {1: 1},           # L(9)  = (2,1)
-    9: {1: 2, 2: 3},     # L(10) = (2,2)(3,3)
-    10: {1: 3, 2: 2},    # L(11) = (2,3)(3,2)
-    11: {2: 1},          # L(12) = (3,1)
-    12: {0: 3, 2: 1},    # L(13) = (1,3)(3,1)
-    13: {0: 2, 2: 2},    # L(14) = (1,2)(3,2)
-}
-
-#: Figure 4(b), zero-indexed landmark *vertices*: edge -> weight.
-FIGURE4_META = {(0, 1): 1, (1, 2): 1, (0, 2): 2}
-
 
 @pytest.fixture
 def figure3_graph() -> Graph:
@@ -105,39 +61,3 @@ def two_components() -> Graph:
 @pytest.fixture
 def grid4x4() -> Graph:
     return grid_2d(4, 4)
-
-
-# ----------------------------------------------------------------------
-# Random graph corpus for differential tests
-# ----------------------------------------------------------------------
-
-def random_graph_corpus(seed: int = 0, count: int = 40):
-    """A deterministic mixed bag of graph shapes for exhaustive
-    differential testing. Yields ``(label, Graph)``."""
-    rng = np.random.default_rng(seed)
-    for i in range(count):
-        kind = i % 5
-        n = int(rng.integers(5, 36))
-        if kind == 0:
-            yield f"er-{i}", erdos_renyi(n, float(rng.uniform(0.05, 0.45)),
-                                         seed=rng)
-        elif kind == 1:
-            m = int(rng.integers(1, min(4, n - 1)))
-            yield f"ba-{i}", barabasi_albert(n, m, seed=rng)
-        elif kind == 2:
-            yield f"grid-{i}", grid_2d(int(rng.integers(2, 6)),
-                                       int(rng.integers(2, 6)))
-        elif kind == 3:
-            k = 4 if n > 5 else 2
-            yield f"ws-{i}", watts_strogatz(n, k, 0.3, seed=rng)
-        else:
-            m = int(rng.integers(1, min(3, n - 1)))
-            yield f"plc-{i}", powerlaw_cluster(n, m, 0.5, seed=rng)
-
-
-def sample_vertex_pairs(graph: Graph, count: int, seed: int = 0):
-    """Deterministic vertex pairs including possible u == v draws."""
-    rng = np.random.default_rng(seed)
-    n = graph.num_vertices
-    return [(int(rng.integers(n)), int(rng.integers(n)))
-            for _ in range(count)]

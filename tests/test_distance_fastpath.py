@@ -6,7 +6,7 @@ import pytest
 from repro import QbSIndex, spg_oracle
 from repro.graph import erdos_renyi
 
-from conftest import random_graph_corpus, sample_vertex_pairs
+from _corpus import random_graph_corpus, sample_vertex_pairs
 
 
 class TestDistanceFastPath:

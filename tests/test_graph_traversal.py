@@ -15,7 +15,7 @@ from repro.graph import (
 )
 from repro.graph.traversal import eccentricity
 
-from conftest import random_graph_corpus
+from _corpus import random_graph_corpus
 
 
 def to_networkx(graph: Graph) -> nx.Graph:

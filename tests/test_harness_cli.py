@@ -96,6 +96,73 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table99"])
 
+    def test_accepts_returns_exact_flag_set(self):
+        from repro.cli import _accepts
+
+        accepted = _accepts(harness.run_fig11)
+        assert isinstance(accepted, set)
+        assert accepted == {"pairs", "landmarks"}
+        assert _accepts(harness.run_table1) == set()
+        # Exact membership — no substring matching: "pair" is a
+        # substring of "pairs" but must not be accepted.
+        assert "pair" not in accepted
+
+    def test_build_and_query_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "douban.idx"
+        code = main(["build", "--method", "qbs", "--dataset", "douban",
+                     "--out", str(path), "--param", "num_landmarks=4"])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "saved qbs index" in out
+        assert "num_landmarks" in out
+
+        code = main(["query", "--index", str(path),
+                     "--random", "5", "--mode", "distance"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5 queries" in out
+
+    def test_query_explicit_pairs_and_cache(self, tmp_path, capsys):
+        path = tmp_path / "bibfs.idx"
+        assert main(["build", "--method", "bibfs",
+                     "--dataset", "douban", "--out", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["query", "--index", str(path),
+                     "--pair", "0", "5", "--pair", "0", "5",
+                     "--mode", "count-paths", "--cache", "4"])
+        assert code == 0
+        assert "1 cache hits" in capsys.readouterr().out
+
+    def test_query_without_pairs_rejected(self, tmp_path, capsys):
+        path = tmp_path / "naive.idx"
+        assert main(["build", "--method", "naive",
+                     "--dataset", "douban", "--out", str(path)]) == 0
+        assert main(["query", "--index", str(path)]) == 2
+        assert "--pair" in capsys.readouterr().err
+
+    def test_query_random_zero_rejected(self, tmp_path, capsys):
+        path = tmp_path / "naive.idx"
+        assert main(["build", "--method", "naive",
+                     "--dataset", "douban", "--out", str(path)]) == 0
+        assert main(["query", "--index", str(path),
+                     "--random", "0"]) == 2
+        assert "positive pair count" in capsys.readouterr().err
+
+    def test_build_bad_param_rejected(self, tmp_path, capsys):
+        code = main(["build", "--method", "qbs", "--dataset", "douban",
+                     "--out", str(tmp_path / "x.idx"),
+                     "--param", "landmarks"])
+        assert code == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_corrupt_index_reported_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "junk.idx"
+        path.write_bytes(b"not an index")
+        assert main(["query", "--index", str(path),
+                     "--random", "3"]) == 2
+        assert "not a repro index archive" in capsys.readouterr().err
+
     def test_main_runs_table1(self, capsys):
         code = main(["table1", "--datasets", "douban"])
         assert code == 0

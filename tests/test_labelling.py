@@ -14,7 +14,7 @@ from repro.core.labelling import build_labelling
 from repro.core.parallel import build_labelling_parallel
 from repro.graph.traversal import bfs_distances
 
-from conftest import (
+from _corpus import (
     FIGURE4_EDGES,
     FIGURE4_LABELS,
     FIGURE4_META,

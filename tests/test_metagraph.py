@@ -9,7 +9,7 @@ from repro.core.labelling import build_labelling
 from repro.core.metagraph import build_meta_graph
 from repro.graph.traversal import bfs_distances
 
-from conftest import random_graph_corpus
+from _corpus import random_graph_corpus
 
 LANDMARKS = np.array([0, 1, 2], dtype=np.int32)
 

@@ -6,7 +6,7 @@ import pytest
 from repro import Graph, spg_oracle
 from repro.baselines.oracle import distance_oracle
 
-from conftest import random_graph_corpus, sample_vertex_pairs
+from _corpus import random_graph_corpus, sample_vertex_pairs
 
 
 def networkx_spg(graph: Graph, u: int, v: int):

@@ -10,7 +10,7 @@ import pytest
 from repro import Graph, QbSIndex, spg_oracle
 from repro.baselines import PPLIndex
 
-from conftest import FIGURE3_EDGES
+from _corpus import FIGURE3_EDGES
 
 
 class TestExample31And33:

@@ -6,7 +6,7 @@ from repro import BudgetExceededError, Graph, spg_oracle
 from repro._util import TimeBudget
 from repro.baselines import ParentPPLIndex, PPLIndex
 
-from conftest import random_graph_corpus, sample_vertex_pairs
+from _corpus import random_graph_corpus, sample_vertex_pairs
 
 
 class TestExactness:

@@ -8,7 +8,7 @@ from repro._util import TimeBudget
 from repro.baselines import PPLIndex
 from repro.errors import IndexBuildError
 
-from conftest import random_graph_corpus, sample_vertex_pairs
+from _corpus import random_graph_corpus, sample_vertex_pairs
 
 #: A concrete graph (found by differential testing) on which the
 #: paper's Algorithm 1 produces labels that violate the 2-hop path

@@ -13,7 +13,7 @@ from repro import (
 )
 from repro.graph import erdos_renyi, grid_2d, star_overlay
 
-from conftest import random_graph_corpus, sample_vertex_pairs
+from _corpus import random_graph_corpus, sample_vertex_pairs
 
 
 class TestExactness:

@@ -6,7 +6,7 @@ import pytest
 from repro import Graph, QbSIndex, bidirectional_spg, spg_oracle
 from repro.core.search import SearchStats
 
-from conftest import random_graph_corpus, sample_vertex_pairs
+from _corpus import random_graph_corpus, sample_vertex_pairs
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ from repro.core.labelling import build_labelling
 from repro.core.metagraph import build_meta_graph
 from repro.core.sketch import compute_sketch
 
-from conftest import random_graph_corpus, sample_vertex_pairs
+from _corpus import random_graph_corpus, sample_vertex_pairs
 
 LANDMARKS = np.array([0, 1, 2], dtype=np.int32)
 
