@@ -9,8 +9,6 @@ Three ablations, one per §6.5 gain source / §6.1 design decision:
 
 import time
 
-import pytest
-
 from repro import QbSIndex, spg_oracle
 from repro.analysis import pair_coverage
 from repro.workloads import load_dataset, sample_pairs

@@ -8,7 +8,6 @@ paths. This bench instruments edge traversals to regenerate the
 
 import pytest
 
-from repro.workloads import sample_pairs
 
 
 def traversed_edges(query_with_stats, pairs, **kwargs):

@@ -10,7 +10,7 @@ exist, most dramatically on the hub-dominated graphs.
 import pytest
 
 from repro.baselines import ParentPPLIndex, PPLIndex
-from repro.workloads import load_dataset, sample_pairs
+from repro.workloads import load_dataset
 
 from _bench import timed_datasets
 

@@ -24,8 +24,8 @@ against — plugs into one engine surface:
   method=..., **params)`` is the single construction entry point,
   ``available_methods()`` enumerates what is registered (``"qbs"``,
   ``"ppl"``, ``"parent-ppl"``, ``"naive"``, ``"bibfs"``,
-  ``"qbs-directed"``), and ``@register_index("name")`` drops a new
-  backend in with zero call-site edits.
+  ``"qbs-directed"``, ``"dynamic"``), and ``@register_index("name")``
+  drops a new backend in with zero call-site edits.
 * **PathIndex contract** — every built index answers ``distance(u,
   v)``, ``query(u, v)`` (the exact shortest path graph),
   ``query_many(pairs)``, and exposes ``stats`` and ``size_bytes``
@@ -79,7 +79,10 @@ from .errors import (
 )
 from .graph import Graph, GraphBuilder, build_graph
 
-__version__ = "1.1.0"
+# Importing the dynamic package registers the "dynamic" engine family.
+from .dynamic import DeltaGraph, DynamicIndex
+
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -98,6 +101,8 @@ __all__ = [
     "spg_oracle",
     "bidirectional_spg",
     "PathIndex",
+    "DeltaGraph",
+    "DynamicIndex",
     "build_index",
     "available_methods",
     "register_index",

@@ -21,6 +21,17 @@ Three kinds of commands:
 
       python -m repro query --index douban.idx --random 20 \\
           --mode count-paths --cache 256
+
+* **update** — replay an edge-update stream (insertions, deletions,
+  interleaved queries) against a saved index through the dynamic
+  subsystem, answering queries as the graph evolves::
+
+      python -m repro update --index douban.idx --stream ops.txt \\
+          --out douban-v2.idx
+      python -m repro update --index douban.idx --random-ops 50
+
+  A non-dynamic index is promoted on the fly (``ppl``/``parent-ppl``
+  promote in place; other families trigger a one-off label build).
 """
 
 from __future__ import annotations
@@ -53,6 +64,7 @@ _EXPERIMENTS = {
     "fig10": harness.run_fig10,
     "fig11": harness.run_fig11,
     "remarks": harness.run_remarks_traversal,
+    "dynamic": harness.run_dynamic,
 }
 
 
@@ -76,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_flags.add_argument(
         "--landmarks", nargs="+", type=int, default=None,
         help="landmark counts for sweep experiments")
+    experiment_flags.add_argument(
+        "--ops", type=int, default=None,
+        help="update-stream length for the dynamic experiment")
     for name in sorted(_EXPERIMENTS):
         commands.add_parser(
             name, parents=[experiment_flags],
@@ -113,6 +128,28 @@ def build_parser() -> argparse.ArgumentParser:
                            help="LRU result cache size (0: off)")
     query_cmd.add_argument("--budget", type=float, default=None,
                            help="wall-clock seconds before truncating")
+
+    update_cmd = commands.add_parser(
+        "update", help="replay an edge-update stream against an index")
+    update_cmd.add_argument("--index", required=True,
+                            help="path written by the build command")
+    update_cmd.add_argument("--stream", default=None,
+                            help="op file: '+ U V' / '- U V' / '? U V' "
+                                 "per line")
+    update_cmd.add_argument("--random-ops", type=int, default=None,
+                            metavar="N",
+                            help="generate a seeded N-op mixed stream "
+                                 "instead of --stream")
+    update_cmd.add_argument("--seed", type=int, default=0,
+                            help="seed for --random-ops generation")
+    update_cmd.add_argument("--mode", default="distance",
+                            choices=QUERY_MODES,
+                            help="what '?' query ops compute")
+    update_cmd.add_argument("--threshold", type=int, default=None,
+                            help="rebuild after this many mutations "
+                                 "(0: never)")
+    update_cmd.add_argument("--out", default=None,
+                            help="save the updated index here")
     return parser
 
 
@@ -130,6 +167,8 @@ def _dispatch(args) -> int:
         return _run_build(args)
     if args.experiment == "query":
         return _run_query(args)
+    if args.experiment == "update":
+        return _run_update(args)
     runner = _EXPERIMENTS[args.experiment]
     accepted = _accepts(runner)
     kwargs = {}
@@ -139,6 +178,8 @@ def _dispatch(args) -> int:
         kwargs["num_pairs"] = args.pairs
     if args.landmarks is not None and "landmarks" in accepted:
         kwargs["landmark_counts"] = args.landmarks
+    if args.ops is not None and "ops" in accepted:
+        kwargs["num_ops"] = args.ops
     rows = runner(**kwargs)
     print(harness.format_rows(rows))
     return 0
@@ -159,6 +200,8 @@ def _accepts(runner) -> Set[str]:
         accepted.add("pairs")
     if "landmark_counts" in params:
         accepted.add("landmarks")
+    if "num_ops" in params:
+        accepted.add("ops")
     return accepted
 
 
@@ -240,6 +283,67 @@ def _run_query(args) -> int:
     if report.truncated:
         summary += " [truncated by --budget]"
     print(summary)
+    return 0
+
+
+def _run_update(args) -> int:
+    from .dynamic import DynamicIndex
+    from .engine.families import ParentPplPathIndex, PplPathIndex
+    from .workloads import generate_update_stream, read_update_stream
+
+    if (args.stream is None) == (args.random_ops is None):
+        raise ReproError("give exactly one of --stream or --random-ops")
+    index = load_index(args.index)
+    if index.directed:
+        raise ReproError(
+            "the dynamic subsystem maintains undirected indexes; "
+            f"{index.method!r} is directed"
+        )
+    if isinstance(index, DynamicIndex):
+        if args.threshold is not None:
+            index.rebuild_threshold = args.threshold
+    elif isinstance(index, (PplPathIndex, ParentPplPathIndex)):
+        index = DynamicIndex.from_static(
+            index, rebuild_threshold=args.threshold)
+        print(f"promoted {index.family!r} index to dynamic")
+    else:
+        print(f"rebuilding {index.method!r} index as dynamic (ppl "
+              f"labels over the same graph)")
+        index = DynamicIndex.build(
+            index.graph, rebuild_threshold=args.threshold)
+
+    if args.stream is not None:
+        ops = read_update_stream(args.stream)
+    else:
+        if args.random_ops <= 0:
+            raise ReproError("--random-ops needs a positive op count")
+        ops = generate_update_stream(index.graph, args.random_ops,
+                                     seed=args.seed)
+    session = QuerySession(index, QueryOptions(mode=args.mode,
+                                               cache_size=256))
+    rows = []
+    for op in ops:
+        kind, u, v = op
+        if kind == "query":
+            record = session.query(u, v)
+            rows.append({"op": op.symbol, "u": u, "v": v,
+                         args.mode: _render_value(record.value),
+                         "ms": record.seconds * 1000.0})
+        else:
+            changed = (index.insert_edge(u, v) if kind == "insert"
+                       else index.remove_edge(u, v))
+            rows.append({"op": op.symbol, "u": u, "v": v,
+                         args.mode: "applied" if changed else "no-op",
+                         "ms": None})
+    print(harness.format_rows(rows))
+    stats = index.stats
+    print(f"{stats['inserts']} inserts, {stats['removes']} removes, "
+          f"{stats['noops']} no-ops, {stats['rebuilds']} rebuilds; "
+          f"now |V|={stats['num_vertices']} |E|={stats['num_edges']} "
+          f"({stats['phantom_edges']} phantom)")
+    if args.out is not None:
+        index.save(args.out)
+        print(f"saved updated dynamic index to {args.out}")
     return 0
 
 

@@ -1,0 +1,28 @@
+"""Dynamic updates: incremental index maintenance on evolving graphs.
+
+Layers a mutable-graph capability on the engine:
+
+* :class:`DeltaGraph` — frozen CSR base + insert/delete edge overlay,
+  answering the same adjacency surface as
+  :class:`~repro.graph.csr.Graph`;
+* :class:`DynamicIndex` — the engine family ``"dynamic"``: PPL or
+  ParentPPL labels repaired in place on insertion, deletion handled by
+  phantom-edge poisoning with guided re-validation, automatic rebuild
+  past a staleness threshold, oracle-exact answers throughout.
+
+See :mod:`repro.workloads.updates` for mixed update/query stream
+generation and the CLI ``update`` subcommand for file-driven replay.
+"""
+
+from .delta import DeltaGraph
+from .incremental import MutableLabels, guided_levels, repair_insert
+from .index import DYNAMIC_FAMILIES, DynamicIndex
+
+__all__ = [
+    "DeltaGraph",
+    "DynamicIndex",
+    "DYNAMIC_FAMILIES",
+    "MutableLabels",
+    "repair_insert",
+    "guided_levels",
+]

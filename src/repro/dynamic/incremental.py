@@ -1,0 +1,227 @@
+"""Incremental maintenance of pruned path labels under edge updates.
+
+The PPL and ParentPPL families (Section 3.2) are 2-hop *distance
+covers*: for every pair ``(u, v)`` some landmark ``r`` on a shortest
+``u``-``v`` path appears in both labels with exact distances, so the
+rank merge-join returns ``d(u, v)`` exactly. This module keeps that
+property true while the graph changes, without rebuilding:
+
+* **Insertion** (:func:`repair_insert`) — resumed pruned BFS, the
+  classic incremental scheme for pruned landmark labellings (Akiba,
+  Iwata and Yoshida, *Dynamic and historical shortest-path distance
+  queries on large evolving networks*, WWW 2014, adapted to path
+  labels). A new edge ``(a, b)`` only creates shortest paths of the
+  form ``r ⇝ a → b ⇝ w`` (or the mirror image) that cross it exactly
+  once, so for every entry ``(r, δ)`` in ``L(a)`` a partial BFS is
+  resumed from ``b`` at depth ``δ + 1``, pruned wherever the current
+  labels already answer ``≤`` the candidate depth. Existing entries are
+  lowered in place, missing ones inserted; cost is proportional to the
+  region whose distances actually changed.
+
+* **Deletion** — decremental 2-hop maintenance is the hard direction
+  (stored distances become *under*-estimates, which a min merge-join
+  cannot detect), so deletions are handled by invalidation: deleted
+  edges stay in the labels' graph as *phantom* edges and the query
+  layer checks, per pair, whether any phantom edge lies on a
+  label-shortest path (:func:`touches_phantom_edge` — the pair is then
+  *poisoned*). Poisoned pairs are re-validated by a label-guided
+  delta-BFS (:func:`guided_levels`) that walks only vertices on
+  label-shortest paths; pairs whose distance genuinely grew fall back
+  to a plain BFS. :class:`~repro.dynamic.index.DynamicIndex` bounds
+  the phantom set with its rebuild policy.
+
+Soundness of the guided search (used for validation *and* for exact
+SPG extraction): with ``G ⊆ G_label`` and ``d = d_label(s, t)``, every
+vertex ``x`` on a current shortest ``s``-``t`` path of length ``d``
+satisfies ``d_label(s, x) + d_label(x, t) = d`` with both terms equal
+to the current distances (squeeze by the triangle inequality), so the
+level-restricted BFS reaches exactly the current shortest-path
+vertices at their true depths, and an edge ``(x, y)`` with
+``level_s[x] + 1 + level_t[y] = d`` lies on a current shortest path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.ppl import PPLIndex
+
+__all__ = ["MutableLabels", "repair_insert", "guided_levels",
+           "touches_phantom_edge"]
+
+Edge = Tuple[int, int]
+
+#: ``neighbors(v) -> array of neighbour ids`` — the adjacency callback
+#: used by the repair BFS and the guided search.
+NeighborFn = Callable[[int], Iterable[int]]
+
+_merge_min = PPLIndex._query_distance_lists
+
+_INF = float("inf")
+
+
+class MutableLabels:
+    """Rank-sorted 2-hop path labels with in-place entry updates.
+
+    Wraps the per-vertex parallel ``(rank, distance)`` lists the PPL
+    family stores (and, for ParentPPL, the aligned parent-tuple lists)
+    *by reference*: updates mutate the owning index's lists directly.
+    ``order`` maps rank -> vertex id; ``rank_of`` is its inverse.
+    """
+
+    def __init__(self, order: np.ndarray,
+                 label_ranks: List[List[int]],
+                 label_dists: List[List[int]],
+                 label_parents: Optional[List[List[Tuple[int, ...]]]] = None
+                 ) -> None:
+        self.order = order
+        self.rank_of = np.empty(len(label_ranks), dtype=np.int64)
+        self.rank_of[order] = np.arange(len(label_ranks))
+        self.ranks = label_ranks
+        self.dists = label_dists
+        self.parents = label_parents
+        self.repaired_entries = 0
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        """Exact distance in the labels' graph (``None`` if apart)."""
+        if u == v:
+            return 0
+        best = _merge_min(self.ranks[u], self.dists[u],
+                          self.ranks[v], self.dists[v])
+        return None if best == _INF else int(best)
+
+    def num_entries(self) -> int:
+        return sum(len(ranks) for ranks in self.ranks)
+
+    def set_entry(self, w: int, rank: int, dist: int) -> None:
+        """Insert or lower the entry ``(rank, dist)`` on vertex ``w``.
+
+        For ParentPPL labels the aligned parent slot is set to the
+        empty tuple — parent sets are rebuilt, not repaired (the
+        dynamic query path never reads them; see ``DynamicIndex``).
+        """
+        ranks = self.ranks[w]
+        position = bisect_left(ranks, rank)
+        if position < len(ranks) and ranks[position] == rank:
+            self.dists[w][position] = dist
+            if self.parents is not None:
+                self.parents[w][position] = ()
+        else:
+            ranks.insert(position, rank)
+            self.dists[w].insert(position, dist)
+            if self.parents is not None:
+                self.parents[w].insert(position, ())
+        self.repaired_entries += 1
+
+
+def repair_insert(labels: MutableLabels, neighbors: NeighborFn,
+                  a: int, b: int) -> None:
+    """Restore label exactness after inserting the edge ``(a, b)``.
+
+    ``neighbors`` must describe the labels' graph *including* the new
+    edge (and any phantom edges still credited to the labels). Labels
+    must be exact for that graph minus ``(a, b)`` on entry; they are
+    exact for the full graph on return.
+    """
+    for x, y in ((a, b), (b, a)):
+        # Snapshot: entries added while repairing must not re-drive
+        # the loop. Stored rank order = highest priority first.
+        for root_rank, d_rx in list(zip(labels.ranks[x], labels.dists[x])):
+            _resume_pruned_bfs(labels, neighbors, root_rank, y, d_rx + 1)
+
+
+def _resume_pruned_bfs(labels: MutableLabels, neighbors: NeighborFn,
+                       root_rank: int, start: int, start_dist: int) -> None:
+    """Partial BFS for landmark ``order[root_rank]`` from ``start``.
+
+    A vertex is labelled (and expanded) only where the candidate depth
+    strictly beats what the current labels already answer — the
+    standard prune that confines the walk to the region whose
+    distances the new edge actually changed.
+    """
+    root = int(labels.order[root_rank])
+    queue = deque([(start, start_dist)])
+    while queue:
+        w, dw = queue.popleft()
+        known = labels.distance(root, w)
+        if known is not None and known <= dw:
+            continue
+        labels.set_entry(w, root_rank, dw)
+        for z in neighbors(w):
+            queue.append((int(z), dw + 1))
+
+
+def touches_phantom_edge(labels: MutableLabels, s: int, t: int, d: int,
+                         phantom: Iterable[Edge]) -> bool:
+    """True if some phantom edge lies on a label-shortest s-t path.
+
+    Edge ``(a, b)`` is on one iff it is crossed by some shortest path,
+    i.e. ``d(s,a) + 1 + d(b,t) = d`` in one of the two orientations.
+    When no phantom edge touches, every label-shortest path survives
+    in the current graph and the label answer stands; otherwise the
+    pair is *poisoned* and must be validated.
+    """
+    to_s: Dict[int, Optional[int]] = {}
+    to_t: Dict[int, Optional[int]] = {}
+
+    def d_s(x: int) -> Optional[int]:
+        if x not in to_s:
+            to_s[x] = labels.distance(s, x)
+        return to_s[x]
+
+    def d_t(x: int) -> Optional[int]:
+        if x not in to_t:
+            to_t[x] = labels.distance(x, t)
+        return to_t[x]
+
+    for a, b in phantom:
+        dsa, dbt = d_s(a), d_t(b)
+        if dsa is not None and dbt is not None and dsa + 1 + dbt == d:
+            return True
+        dsb, dat = d_s(b), d_t(a)
+        if dsb is not None and dat is not None and dsb + 1 + dat == d:
+            return True
+    return False
+
+
+def guided_levels(labels: MutableLabels, neighbors: NeighborFn,
+                  s: int, t: int, d: int) -> Dict[int, int]:
+    """Label-guided BFS from ``s`` towards ``t`` over ``neighbors``.
+
+    Walks the *current* graph (pass current adjacency) but only
+    through vertices the labels place on a shortest ``s``-``t`` path
+    at the matching depth: ``x`` is admitted at level ``k`` iff
+    ``d_label(s, x) = k`` and ``d_label(x, t) = d - k``. Returns
+    ``{vertex: level}`` for every admitted vertex.
+
+    Reading the result: ``t`` present (at level ``d``) iff the current
+    distance still equals ``d``; and against a second sweep from ``t``,
+    ``levels_s[x] + 1 + levels_t[y] = d`` characterizes exactly the
+    current SPG edges (module docstring).
+    """
+    levels = {s: 0}
+    rejected = set()
+    frontier = [s]
+    for k in range(d):
+        next_frontier: List[int] = []
+        for x in frontier:
+            for z in neighbors(x):
+                z = int(z)
+                if z in levels or z in rejected:
+                    continue
+                if labels.distance(s, z) != k + 1 \
+                        or labels.distance(z, t) != d - k - 1:
+                    # Levels only grow, so a vertex that fails its
+                    # first reachable level can never be admitted.
+                    rejected.add(z)
+                    continue
+                levels[z] = k + 1
+                next_frontier.append(z)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return levels

@@ -1,0 +1,465 @@
+"""`DynamicIndex` — a full `PathIndex` that stays exact under updates.
+
+The dynamic subsystem's public face: an engine-registered family
+(``"dynamic"``) layering three pieces on the PR-1 engine:
+
+* a :class:`~repro.dynamic.delta.DeltaGraph` holding the current graph
+  as a frozen base plus an insert/delete overlay;
+* incrementally maintained PPL or ParentPPL labels
+  (:mod:`repro.dynamic.incremental`): edge insertions repair the
+  labels by resumed pruned BFS; deletions leave *phantom* edges behind
+  and poison the pairs whose label-shortest paths crossed them;
+* a query layer that serves clean pairs straight from the labels,
+  re-validates poisoned pairs with a label-guided delta-BFS, and
+  falls back to plain BFS only for pairs whose distance genuinely
+  changed — so answers are **always oracle-exact** on the current
+  graph.
+
+A staleness policy caps how far the structure may drift: after
+``rebuild_threshold`` applied mutations the labels are rebuilt from
+the current snapshot (amortized, the rebuild is the same work a
+build-once deployment would redo on *every* update). All counters —
+inserts, removes, rebuilds, repaired entries, validated and
+fallen-back queries — surface through :attr:`stats`, and
+:attr:`version` feeds the engine's query-cache invalidation.
+
+SPG queries do not use the recursive label resolution of the static
+families: exactness there leans on the 2-hop *path* cover, which
+incremental repair does not preserve. Instead the SPG is extracted
+from two guided level sweeps using distances alone — exact whenever
+the labels' distances are (module docstring of
+:mod:`~repro.dynamic.incremental`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .._util import UNREACHED
+from ..baselines.oracle import spg_oracle
+from ..core.spg import ShortestPathGraph
+from ..engine.base import PathIndex
+from ..engine.families import (
+    ParentPplPathIndex,
+    PplPathIndex,
+    _flatten_ragged,
+    _graph_arrays,
+    _graph_from_arrays,
+    _split_ragged,
+)
+from ..engine.registry import build_index, register_index
+from ..errors import IndexBuildError, IndexFormatError, QueryError
+from ..graph.csr import Graph
+from ..graph.traversal import bfs_distances
+from .delta import DeltaGraph, normalize_edge
+from .incremental import (
+    MutableLabels,
+    guided_levels,
+    repair_insert,
+    touches_phantom_edge,
+)
+
+__all__ = ["DynamicIndex", "DYNAMIC_FAMILIES"]
+
+Edge = Tuple[int, int]
+
+#: Label families the dynamic maintenance supports.
+DYNAMIC_FAMILIES = ("ppl", "parent-ppl")
+
+#: Mutation kinds accepted by :meth:`DynamicIndex.apply_batch`.
+_INSERT_KINDS = frozenset({"insert", "+"})
+_REMOVE_KINDS = frozenset({"delete", "remove", "-"})
+
+
+@register_index("dynamic")
+class DynamicIndex(PathIndex):
+    """Incrementally maintained path index over a mutable graph."""
+
+    def __init__(self, inner, family: str,
+                 rebuild_threshold: Optional[int]) -> None:
+        if family not in DYNAMIC_FAMILIES:
+            raise IndexBuildError(
+                f"dynamic maintenance supports families "
+                f"{DYNAMIC_FAMILIES}, not {family!r}"
+            )
+        self._inner = inner
+        self._family = family
+        self._labels = MutableLabels(
+            inner._order, inner._label_ranks, inner._label_dists,
+            getattr(inner, "_label_parents", None),
+        )
+        self._delta = DeltaGraph(inner._graph)
+        self._phantom: Set[Edge] = set()
+        self._phantom_adj: Dict[int, List[int]] = {}
+        self.rebuild_threshold = rebuild_threshold
+        self._version = 0
+        self._ops_since_rebuild = 0
+        self._counters = {
+            "inserts": 0, "removes": 0, "noops": 0, "rebuilds": 0,
+            "validated_queries": 0, "fallback_queries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: Graph, *, family: str = "ppl",
+              rebuild_threshold: Optional[int] = None,
+              **params) -> "DynamicIndex":
+        """Build the underlying label family, then wrap it.
+
+        ``params`` pass through to the family's ``build``; the PPL
+        ``variant`` must stay ``"sound"`` — incremental repair (and
+        the guided query layer) assume the labels are an exact
+        distance cover, which the paper-verbatim variant is not.
+        """
+        if params.get("variant", "sound") != "sound":
+            raise IndexBuildError(
+                "dynamic maintenance requires the sound label variant"
+            )
+        inner = build_index(graph, family, **params)
+        return cls(inner, family, rebuild_threshold)
+
+    @classmethod
+    def from_static(cls, index, *,
+                    rebuild_threshold: Optional[int] = None
+                    ) -> "DynamicIndex":
+        """Promote a built PPL/ParentPPL index without rebuilding.
+
+        Label lists are deep-copied so the static index keeps serving
+        unchanged while the dynamic copy mutates.
+        """
+        families = {PplPathIndex: "ppl", ParentPplPathIndex: "parent-ppl"}
+        family = families.get(type(index))
+        if family is None:
+            raise IndexBuildError(
+                f"cannot promote a {type(index).__name__} to a "
+                f"DynamicIndex; build one of {DYNAMIC_FAMILIES} first"
+            )
+        clone_args = [index._graph, index._order.copy(),
+                      [list(x) for x in index._label_ranks],
+                      [list(x) for x in index._label_dists]]
+        if family == "parent-ppl":
+            clone_args.append([list(x) for x in index._label_parents])
+        inner = type(index)(*clone_args)
+        return cls(inner, family, rebuild_threshold)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    @property
+    def rebuild_threshold(self) -> int:
+        """Applied mutations tolerated before a full label rebuild.
+
+        ``0`` disables automatic rebuilds; the default scales with the
+        base size (an eighth of the base edges, at least 64).
+        """
+        return self._rebuild_threshold
+
+    @rebuild_threshold.setter
+    def rebuild_threshold(self, value: Optional[int]) -> None:
+        if value is None:
+            value = max(64, self._inner._graph.num_edges // 8)
+        if value < 0:
+            raise IndexBuildError("rebuild_threshold must be >= 0")
+        self._rebuild_threshold = int(value)
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Add edge ``{u, v}`` and repair the labels incrementally.
+
+        Returns ``False`` when the edge was already present (a no-op).
+        """
+        if not self._delta.insert_edge(u, v):
+            self._counters["noops"] += 1
+            return False
+        self._version += 1
+        self._counters["inserts"] += 1
+        edge = normalize_edge(u, v)
+        if edge in self._phantom:
+            # A deleted edge coming back: the labels never stopped
+            # accounting for it, so un-poisoning it is the whole repair.
+            self._drop_phantom(edge)
+        else:
+            repair_insert(self._labels, self._label_neighbors, u, v)
+        self._bump_and_maybe_rebuild()
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete edge ``{u, v}``, leaving a phantom for the labels.
+
+        Returns ``False`` when the edge was not present (a no-op).
+        """
+        if not self._delta.remove_edge(u, v):
+            self._counters["noops"] += 1
+            return False
+        self._version += 1
+        self._counters["removes"] += 1
+        edge = normalize_edge(u, v)
+        self._phantom.add(edge)
+        self._phantom_adj.setdefault(edge[0], []).append(edge[1])
+        self._phantom_adj.setdefault(edge[1], []).append(edge[0])
+        self._bump_and_maybe_rebuild()
+        return True
+
+    def apply_batch(self, operations) -> Dict[str, int]:
+        """Apply ``(kind, u, v)`` mutations in order; returns counts.
+
+        ``kind`` is ``"insert"``/``"+"`` or ``"delete"``/``"remove"``/
+        ``"-"`` (query operations in a mixed stream are the caller's
+        to answer — see the CLI ``update`` command).
+        """
+        applied = noops = 0
+        for kind, u, v in operations:
+            if kind in _INSERT_KINDS:
+                changed = self.insert_edge(u, v)
+            elif kind in _REMOVE_KINDS:
+                changed = self.remove_edge(u, v)
+            else:
+                raise QueryError(
+                    f"unknown update operation {kind!r}; expected "
+                    f"insert/delete"
+                )
+            applied += changed
+            noops += not changed
+        return {"applied": applied, "noops": noops,
+                "rebuilds": self._counters["rebuilds"]}
+
+    def rebuild(self) -> None:
+        """Rebuild the labels from the current snapshot, clearing the
+        delta and every phantom edge."""
+        snapshot = self._delta.snapshot()
+        self._inner = build_index(snapshot, self._family)
+        self._labels = MutableLabels(
+            self._inner._order, self._inner._label_ranks,
+            self._inner._label_dists,
+            getattr(self._inner, "_label_parents", None),
+        )
+        self._delta = DeltaGraph(snapshot)
+        self._phantom.clear()
+        self._phantom_adj.clear()
+        self._ops_since_rebuild = 0
+        self._counters["rebuilds"] += 1
+
+    def _bump_and_maybe_rebuild(self) -> None:
+        self._ops_since_rebuild += 1
+        if self._rebuild_threshold \
+                and self._ops_since_rebuild >= self._rebuild_threshold:
+            self.rebuild()
+
+    def _drop_phantom(self, edge: Edge) -> None:
+        self._phantom.discard(edge)
+        for a, b in (edge, edge[::-1]):
+            row = self._phantom_adj.get(a)
+            if row is not None:
+                row.remove(b)
+                if not row:
+                    del self._phantom_adj[a]
+
+    # ------------------------------------------------------------------
+    # Adjacency callbacks
+    # ------------------------------------------------------------------
+
+    def _label_neighbors(self, v: int):
+        """Adjacency of the labels' graph: current plus phantom edges."""
+        row = self._delta.neighbors(v)
+        extra = self._phantom_adj.get(v)
+        if not extra:
+            return row
+        return np.concatenate(
+            (row, np.asarray(extra, dtype=np.int32)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        self._delta._check_vertex(u)
+        self._delta._check_vertex(v)
+        return self._resolve_distance(u, v)[0]
+
+    def _resolve_distance(self, u: int, v: int
+                          ) -> Tuple[Optional[int], bool,
+                                     Optional[Dict[int, int]]]:
+        """``(current distance, labels_exact, levels_from_u)``.
+
+        ``labels_exact`` is True when the label distance is the current
+        distance (clean pair, or poisoned pair that validated), so the
+        guided SPG extraction applies; False means the pair fell back
+        to plain BFS on the snapshot. ``levels_from_u`` hands the
+        validation sweep to :meth:`query` where one already ran, so a
+        poisoned-but-validated SPG query does not redo it.
+        """
+        if u == v:
+            return 0, True, None
+        d = self._labels.distance(u, v)
+        if d is None:
+            # The labels' graph is a supergraph of the current one, so
+            # disconnected there means disconnected here.
+            return None, True, None
+        if not self._phantom:
+            return d, True, None
+        if not touches_phantom_edge(self._labels, u, v, d, self._phantom):
+            return d, True, None
+        self._counters["validated_queries"] += 1
+        levels = guided_levels(self._labels, self._delta.neighbors, u, v, d)
+        if levels.get(v) == d:
+            return d, True, levels
+        self._counters["fallback_queries"] += 1
+        fallback = int(bfs_distances(self._delta.snapshot(), u)[v])
+        return (None if fallback == UNREACHED else fallback), False, None
+
+    def query(self, u: int, v: int) -> ShortestPathGraph:
+        self._delta._check_vertex(u)
+        self._delta._check_vertex(v)
+        if u == v:
+            return ShortestPathGraph.trivial(u)
+        d, labels_exact, from_u = self._resolve_distance(u, v)
+        if d is None:
+            return ShortestPathGraph.empty(u, v)
+        if not labels_exact:
+            return spg_oracle(self._delta.snapshot(), u, v)
+        if from_u is None:
+            from_u = guided_levels(self._labels, self._delta.neighbors,
+                                   u, v, d)
+        from_v = guided_levels(self._labels, self._delta.neighbors,
+                               v, u, d)
+        edges = set()
+        for x, depth_x in from_u.items():
+            for y in self._delta.neighbors(x):
+                depth_y = from_v.get(int(y))
+                if depth_y is not None and depth_x + 1 + depth_y == d:
+                    edges.add(normalize_edge(x, int(y)))
+        return ShortestPathGraph(u, v, d, edges)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The *current* graph (materialized snapshot of the overlay)."""
+        return self._delta.snapshot()
+
+    @property
+    def delta(self) -> DeltaGraph:
+        """The mutable overlay; mutate through the index, not here."""
+        return self._delta
+
+    @property
+    def family(self) -> str:
+        return self._family
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every applied insert/remove."""
+        return self._version
+
+    @property
+    def size_bytes(self) -> int:
+        """Labels under the family's paper model plus 8 bytes per
+        overlay edge (added and phantom)."""
+        overlay = len(self._delta.added_edges()) + len(self._phantom)
+        return self._inner.paper_size_bytes() + 8 * overlay
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        base = PathIndex.stats.fget(self)
+        base.update({
+            "family": self._family,
+            "base_edges": self._delta.base.num_edges,
+            "added_edges": len(self._delta.added_edges()),
+            "phantom_edges": len(self._phantom),
+            "label_entries": self._labels.num_entries(),
+            "repaired_entries": self._labels.repaired_entries,
+            "version": self._version,
+            "rebuild_threshold": self._rebuild_threshold,
+            "ops_since_rebuild": self._ops_since_rebuild,
+            **self._counters,
+        })
+        return base
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_state(self):
+        labels = self._labels
+        rank_offsets, flat_ranks = _flatten_ragged(labels.ranks, np.int64)
+        _, flat_dists = _flatten_ragged(labels.dists, np.int32)
+        arrays = {
+            **_graph_arrays(self._delta.base),
+            "order": labels.order,
+            "label_offsets": rank_offsets,
+            "label_ranks": flat_ranks,
+            "label_dists": flat_dists,
+            "added": _edge_rows(self._delta.added_edges()),
+            "phantom": _edge_rows(sorted(self._phantom)),
+        }
+        if labels.parents is not None:
+            entry_parents = [parents for per_vertex in labels.parents
+                             for parents in per_vertex]
+            parent_offsets, flat_parents = _flatten_ragged(entry_parents,
+                                                           np.int32)
+            arrays["parent_offsets"] = parent_offsets
+            arrays["parents"] = flat_parents
+        meta = {
+            "family": self._family,
+            "rebuild_threshold": self._rebuild_threshold,
+            "version": self._version,
+            "ops_since_rebuild": self._ops_since_rebuild,
+            "counters": dict(self._counters),
+            "repaired_entries": labels.repaired_entries,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_state(cls, meta, arrays) -> "DynamicIndex":
+        family = meta.get("family")
+        if family not in DYNAMIC_FAMILIES:
+            raise IndexFormatError(
+                f"dynamic archive names unsupported family {family!r}"
+            )
+        graph = _graph_from_arrays(arrays)
+        offsets = arrays["label_offsets"]
+        order = arrays["order"].astype(np.int64)
+        label_ranks = _split_ragged(offsets, arrays["label_ranks"])
+        label_dists = _split_ragged(offsets, arrays["label_dists"])
+        if family == "parent-ppl":
+            entry_parents = _split_ragged(arrays["parent_offsets"],
+                                          arrays["parents"])
+            label_parents: List[List[Tuple[int, ...]]] = []
+            cursor = 0
+            for ranks in label_ranks:
+                label_parents.append([tuple(entry_parents[cursor + k])
+                                      for k in range(len(ranks))])
+                cursor += len(ranks)
+            inner = ParentPplPathIndex(graph, order, label_ranks,
+                                       label_dists, label_parents)
+        else:
+            inner = PplPathIndex(graph, order, label_ranks, label_dists)
+        index = cls(inner, family, meta.get("rebuild_threshold"))
+        for u, v in arrays["added"].tolist():
+            index._delta.insert_edge(int(u), int(v))
+        for u, v in arrays["phantom"].tolist():
+            edge = normalize_edge(int(u), int(v))
+            if graph.has_edge(*edge):
+                index._delta.remove_edge(*edge)
+            index._phantom.add(edge)
+            index._phantom_adj.setdefault(edge[0], []).append(edge[1])
+            index._phantom_adj.setdefault(edge[1], []).append(edge[0])
+        index._version = int(meta.get("version", 0))
+        index._ops_since_rebuild = int(meta.get("ops_since_rebuild", 0))
+        index._counters.update(meta.get("counters", {}))
+        index._labels.repaired_entries = int(
+            meta.get("repaired_entries", 0))
+        return index
+
+
+def _edge_rows(edges: List[Edge]) -> np.ndarray:
+    if not edges:
+        return np.zeros((0, 2), dtype=np.int32)
+    return np.asarray(edges, dtype=np.int32)

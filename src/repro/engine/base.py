@@ -106,6 +106,18 @@ class PathIndex(abc.ABC):
         """
 
     @property
+    def version(self) -> int:
+        """Mutation counter for cache invalidation.
+
+        Static families never change after ``build`` and return ``0``
+        forever; mutable families (the dynamic subsystem) bump this on
+        every applied update. :class:`~repro.engine.session.
+        QuerySession` keys its result cache on it, so cached answers
+        can never outlive the graph state they were computed on.
+        """
+        return 0
+
+    @property
     def stats(self) -> Dict[str, Any]:
         """Uniform index statistics; subclasses extend the base dict."""
         graph = self.graph

@@ -12,9 +12,11 @@ and executes query batches under a :class:`QueryOptions` policy:
 * **stats** — per-query :class:`~repro.core.search.SearchStats` where
   the family is instrumented, aggregated over the batch (the §6.5
   traversal accounting);
-* **cache** — an optional LRU result cache keyed by ``(u, v, mode)``;
-  repeated pairs in a workload (the common case for serving traffic)
-  are answered without touching the index.
+* **cache** — an optional LRU result cache keyed by ``(u, v, mode,
+  index.version)``; repeated pairs in a workload (the common case for
+  serving traffic) are answered without touching the index, and the
+  version component invalidates every cached answer the moment a
+  mutable index applies an update.
 
 The harness's timing loops and the CLI ``query`` subcommand both run
 on sessions, so every index family gets batching, budgets and caching
@@ -156,9 +158,15 @@ class QuerySession:
     # ------------------------------------------------------------------
 
     def query(self, u: int, v: int) -> QueryRecord:
-        """Execute one query under the session's options."""
+        """Execute one query under the session's options.
+
+        The cache key includes the index's :attr:`~repro.engine.base.
+        PathIndex.version`, so entries cached before a mutation can
+        never be served after it — they simply stop matching and age
+        out of the LRU.
+        """
         options = self.options
-        key = (u, v, options.mode)
+        key = (u, v, options.mode, self._index.version)
         if options.cache_size:
             if key in self._cache:
                 self._cache.move_to_end(key)

@@ -45,6 +45,7 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_remarks_traversal",
+    "run_dynamic",
     "format_rows",
     "DEFAULT_LANDMARKS",
     "LANDMARK_SWEEP",
@@ -384,6 +385,80 @@ def run_remarks_traversal(names: Optional[Iterable[str]] = None,
             "qbs_edges": qbs_edges,
             "bibfs_edges": bibfs_edges,
             "edges_saved": f"{saving:.1%}",
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Dynamic updates — incremental maintenance vs rebuild-per-update
+# ----------------------------------------------------------------------
+
+def run_dynamic(names: Optional[Iterable[str]] = None,
+                num_ops: Optional[int] = None,
+                seed: int = 17) -> List[Dict]:
+    """Amortized update cost of the dynamic subsystem per dataset.
+
+    Builds the label family once, promotes it to a
+    :class:`~repro.dynamic.DynamicIndex`, replays a seeded mixed
+    insert/delete/query stream, and reports amortized per-mutation
+    latency against the build-once cost a rebuild-per-update
+    deployment would pay for every single edge change. Every query in
+    the stream is answered by the dynamic index (through a
+    :class:`QuerySession`, exercising version-keyed caching).
+
+    Defaults to the small stand-ins — label construction is all-pairs
+    work, so the large stand-ins belong to ``pytest benchmarks``.
+    """
+    from .dynamic import DynamicIndex
+    from .workloads import generate_update_stream
+
+    rows = []
+    for name in (list(names) if names is not None
+                 else small_dataset_names()):
+        graph = load_dataset(name)
+        with Stopwatch() as build_sw:
+            static = build_index(graph, "ppl")
+        index = DynamicIndex.from_static(static)
+        count = num_ops if num_ops is not None \
+            else min(200, max(40, graph.num_edges // 10))
+        ops = generate_update_stream(graph, count, seed=seed)
+        session = QuerySession(index, QueryOptions(mode="distance",
+                                                   cache_size=256))
+        mutations = 0
+        update_seconds = 0.0
+        query_records = []
+        for kind, u, v in ops:
+            if kind == "query":
+                query_records.append(session.query(u, v))
+                continue
+            with Stopwatch() as sw:
+                if kind == "insert":
+                    index.insert_edge(u, v)
+                else:
+                    index.remove_edge(u, v)
+            mutations += 1
+            update_seconds += sw.elapsed
+        stats = index.stats
+        update_ms = (update_seconds / mutations * 1000.0
+                     if mutations else 0.0)
+        query_ms = (sum(r.seconds for r in query_records)
+                    / len(query_records) * 1000.0
+                    if query_records else 0.0)
+        speedup = (build_sw.elapsed / (update_seconds / mutations)
+                   if update_seconds and mutations else float("inf"))
+        rows.append({
+            "dataset": name,
+            "|V|": graph.num_vertices,
+            "|E|": graph.num_edges,
+            "build": format_seconds(build_sw.elapsed),
+            "build_seconds": build_sw.elapsed,
+            "ops": len(ops),
+            "mutations": mutations,
+            "update_ms": update_ms,
+            "query_ms": query_ms,
+            "rebuilds": stats["rebuilds"],
+            "fallbacks": stats["fallback_queries"],
+            "speedup_vs_rebuild": f"{speedup:.0f}x",
         })
     return rows
 

@@ -1,4 +1,4 @@
-"""Workloads: the twelve dataset stand-ins plus query sampling."""
+"""Workloads: dataset stand-ins, query sampling, update streams."""
 
 from .datasets import (
     DATASETS,
@@ -8,6 +8,12 @@ from .datasets import (
     small_dataset_names,
 )
 from .queries import default_num_pairs, sample_pairs
+from .updates import (
+    UpdateOp,
+    generate_update_stream,
+    read_update_stream,
+    write_update_stream,
+)
 
 __all__ = [
     "DATASETS",
@@ -17,4 +23,8 @@ __all__ = [
     "small_dataset_names",
     "sample_pairs",
     "default_num_pairs",
+    "UpdateOp",
+    "generate_update_stream",
+    "read_update_stream",
+    "write_update_stream",
 ]

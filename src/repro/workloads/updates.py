@@ -1,0 +1,153 @@
+"""Update workloads: mixed insert/delete/query streams for dynamic
+index maintenance.
+
+The static workload (:mod:`repro.workloads.queries`) samples vertex
+pairs over a frozen graph; this module generates the *evolving* analog
+— an ordered stream of edge insertions, edge deletions and distance
+queries that is **valid by construction**: replayed in order from the
+generating graph, every insertion adds a genuinely new edge and every
+deletion removes one that exists at that point of the stream. Streams
+are seeded, so benchmarks and tests replay identical workloads.
+
+Streams round-trip through a one-line-per-op text format (the CLI
+``update`` subcommand consumes it)::
+
+    # comment
+    + 12 40        insert edge {12, 40}
+    - 3 7          delete edge {3, 7}
+    ? 5 19         query the pair (5, 19)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Tuple
+
+from .._util import check_random_state
+from ..errors import GraphFormatError, ReproError
+
+__all__ = ["UpdateOp", "generate_update_stream", "read_update_stream",
+           "write_update_stream", "OP_KINDS"]
+
+#: Stream operation kinds, in symbol-file order.
+OP_KINDS = ("insert", "delete", "query")
+
+_KIND_TO_SYMBOL = {"insert": "+", "delete": "-", "query": "?"}
+_SYMBOL_TO_KIND = {symbol: kind for kind, symbol in _KIND_TO_SYMBOL.items()}
+
+
+class UpdateOp(NamedTuple):
+    """One stream operation; destructures as ``(kind, u, v)``."""
+
+    kind: str
+    u: int
+    v: int
+
+    @property
+    def symbol(self) -> str:
+        return _KIND_TO_SYMBOL[self.kind]
+
+
+def generate_update_stream(graph, num_ops: int, *,
+                           insert_frac: float = 0.3,
+                           delete_frac: float = 0.2,
+                           seed=0) -> List[UpdateOp]:
+    """Generate a seeded, valid-in-order mixed op stream for ``graph``.
+
+    ``insert_frac`` / ``delete_frac`` give the expected mix; the rest
+    are queries. The generator tracks the evolving edge set, so
+    deletions always hit a currently-present edge and insertions a
+    currently-absent pair. A delete drawn on an edgeless graph (or an
+    insert on a near-complete one) degrades to a query, keeping the
+    stream length exact.
+    """
+    if num_ops < 0:
+        raise ReproError("num_ops must be >= 0")
+    if insert_frac < 0 or delete_frac < 0 \
+            or insert_frac + delete_frac > 1:
+        raise ReproError(
+            "insert_frac/delete_frac must be non-negative and sum to "
+            "at most 1"
+        )
+    n = graph.num_vertices
+    if n < 2:
+        raise ReproError("need at least two vertices to generate a stream")
+    rng = check_random_state(seed)
+    edge_list: List[Tuple[int, int]] = list(graph.edges())
+    edge_set = set(edge_list)
+    ops: List[UpdateOp] = []
+    for _ in range(num_ops):
+        roll = rng.random()
+        if roll < insert_frac:
+            pair = _sample_absent_pair(rng, n, edge_set)
+            if pair is not None:
+                edge_set.add(pair)
+                edge_list.append(pair)
+                ops.append(UpdateOp("insert", *pair))
+                continue
+        elif roll < insert_frac + delete_frac and edge_list:
+            slot = int(rng.integers(len(edge_list)))
+            edge = edge_list[slot]
+            # O(1) removal: swap the tail into the vacated slot.
+            edge_list[slot] = edge_list[-1]
+            edge_list.pop()
+            edge_set.discard(edge)
+            ops.append(UpdateOp("delete", *edge))
+            continue
+        u = int(rng.integers(n))
+        v = int(rng.integers(n - 1))
+        if v >= u:
+            v += 1
+        ops.append(UpdateOp("query", u, v))
+    return ops
+
+
+def _sample_absent_pair(rng, n: int, edge_set, tries: int = 64):
+    """A uniform currently-absent pair, or ``None`` on a dense graph."""
+    for _ in range(tries):
+        u = int(rng.integers(n))
+        v = int(rng.integers(n - 1))
+        if v >= u:
+            v += 1
+        edge = (u, v) if u < v else (v, u)
+        if edge not in edge_set:
+            return edge
+    return None
+
+
+def write_update_stream(path, ops: Iterable[UpdateOp]) -> None:
+    """Write a stream in the one-line-per-op text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for op in ops:
+            kind, u, v = op
+            symbol = _KIND_TO_SYMBOL.get(kind)
+            if symbol is None:
+                raise GraphFormatError(
+                    f"unknown stream op kind {kind!r}; "
+                    f"expected one of {OP_KINDS}"
+                )
+            handle.write(f"{symbol} {u} {v}\n")
+
+
+def read_update_stream(path) -> List[UpdateOp]:
+    """Parse a stream file; blank lines and ``#`` comments are skipped."""
+    ops: List[UpdateOp] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            kind = _SYMBOL_TO_KIND.get(parts[0], parts[0])
+            if kind not in OP_KINDS or len(parts) != 3:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected '+|-|? U V', got {text!r}"
+                )
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: endpoints must be integers, "
+                    f"got {text!r}"
+                ) from None
+            ops.append(UpdateOp(kind, u, v))
+    return ops

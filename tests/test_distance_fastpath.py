@@ -1,6 +1,5 @@
 """Distance-only fast path: must agree with the full query exactly."""
 
-import numpy as np
 import pytest
 
 from repro import QbSIndex, spg_oracle

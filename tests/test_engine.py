@@ -47,9 +47,10 @@ UNDIRECTED_METHODS = {
     "parent-ppl": {},
     "naive": {},
     "bibfs": {},
+    "dynamic": {},
 }
 
-ALL_METHODS = ("bibfs", "naive", "parent-ppl", "ppl", "qbs",
+ALL_METHODS = ("bibfs", "dynamic", "naive", "parent-ppl", "ppl", "qbs",
                "qbs-directed")
 
 
@@ -64,7 +65,7 @@ def small_corpus(seed=900, count=6):
 # ----------------------------------------------------------------------
 
 class TestRegistry:
-    def test_all_six_families_registered(self):
+    def test_all_families_registered(self):
         assert set(ALL_METHODS) <= set(available_methods())
 
     def test_unknown_method_rejected(self):
@@ -309,6 +310,31 @@ class TestQuerySession:
         assert session.cache_len == 2
         session.clear_cache()
         assert session.cache_len == 0
+
+    def test_static_families_report_version_zero(self, index):
+        assert index.version == 0
+
+    def test_cache_invalidated_by_index_mutation(self):
+        """Satellite fix: cached answers must not survive updates.
+
+        The cache key includes ``index.version``, so a mutation makes
+        every previously cached entry unmatchable — the next query
+        recomputes against the new graph instead of serving the old
+        answer.
+        """
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        index = build_index(graph, "dynamic")
+        session = QuerySession(index, QueryOptions(mode="distance",
+                                                   cache_size=8))
+        assert session.query(0, 3).value == 3
+        assert session.query(0, 3).cached  # warm
+        index.insert_edge(0, 3)
+        record = session.query(0, 3)
+        assert not record.cached
+        assert record.value == 1
+        assert session.query(0, 3).cached  # warm again at new version
+        index.remove_edge(0, 3)
+        assert session.query(0, 3).value == 3
 
     def test_cached_results_identical(self, index):
         session = QuerySession(index, QueryOptions(cache_size=8))

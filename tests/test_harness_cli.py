@@ -66,6 +66,15 @@ class TestHarnessRunners:
         assert rows[0]["qbs_edges"] > 0
         assert rows[0]["bibfs_edges"] > 0
 
+    def test_dynamic(self):
+        rows = harness.run_dynamic(SMALL, num_ops=30)
+        row = rows[0]
+        assert row["dataset"] == "douban"
+        assert row["mutations"] + row["ops"] >= 30
+        assert row["update_ms"] > 0
+        assert row["build_seconds"] > 0
+        assert row["speedup_vs_rebuild"].endswith("x")
+
 
 class TestFormatting:
     def test_format_rows_alignment(self):
@@ -168,6 +177,76 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "douban" in out
+
+
+class TestCliUpdate:
+    @pytest.fixture
+    def saved_dynamic(self, tmp_path):
+        from repro import build_index
+        from repro.graph import cycle_graph
+
+        path = tmp_path / "dyn.idx"
+        build_index(cycle_graph(8), "dynamic").save(path)
+        return path
+
+    def test_stream_replay_and_save(self, saved_dynamic, tmp_path,
+                                    capsys):
+        stream = tmp_path / "ops.txt"
+        stream.write_text("# demo\n+ 0 4\n? 0 4\n- 0 1\n? 0 1\n")
+        out_path = tmp_path / "dyn2.idx"
+        code = main(["update", "--index", str(saved_dynamic),
+                     "--stream", str(stream), "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 inserts, 1 removes" in out
+        assert "saved updated dynamic index" in out
+        assert out_path.exists()
+
+        from repro import load_index
+        from repro.dynamic import DynamicIndex
+
+        loaded = load_index(out_path)
+        assert isinstance(loaded, DynamicIndex)
+        assert loaded.distance(0, 4) == 1
+        assert loaded.distance(0, 1) == 4  # detour 0-4-3-2-1
+
+    def test_random_ops(self, saved_dynamic, capsys):
+        code = main(["update", "--index", str(saved_dynamic),
+                     "--random-ops", "10", "--seed", "5",
+                     "--mode", "distance"])
+        assert code == 0
+        assert "rebuilds" in capsys.readouterr().out
+
+    def test_promotes_static_index(self, tmp_path, capsys):
+        from repro import build_index
+        from repro.graph import cycle_graph
+
+        path = tmp_path / "ppl.idx"
+        build_index(cycle_graph(8), "ppl").save(path)
+        stream = tmp_path / "ops.txt"
+        stream.write_text("+ 0 4\n? 0 4\n")
+        code = main(["update", "--index", str(path),
+                     "--stream", str(stream)])
+        assert code == 0
+        assert "promoted 'ppl' index to dynamic" in \
+            capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self, saved_dynamic, capsys):
+        assert main(["update", "--index", str(saved_dynamic)]) == 2
+        assert "--stream or --random-ops" in capsys.readouterr().err
+        assert main(["update", "--index", str(saved_dynamic),
+                     "--stream", "x", "--random-ops", "5"]) == 2
+
+    def test_directed_index_rejected(self, tmp_path, capsys):
+        from repro import build_index
+        from repro.directed import DiGraph
+
+        digraph = DiGraph.from_arcs([(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "directed.idx"
+        build_index(digraph, "qbs-directed", num_landmarks=2).save(path)
+        assert main(["update", "--index", str(path),
+                     "--random-ops", "5"]) == 2
+        assert "undirected" in capsys.readouterr().err
 
     def test_main_passes_pairs(self, capsys):
         code = main(["fig7", "--datasets", "douban", "--pairs", "20"])

@@ -15,7 +15,6 @@ from repro.core.parallel import build_labelling_parallel
 from repro.graph.traversal import bfs_distances
 
 from _corpus import (
-    FIGURE4_EDGES,
     FIGURE4_LABELS,
     FIGURE4_META,
     random_graph_corpus,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, spg_oracle
+from repro import spg_oracle
 from repro._util import UNREACHED
 from repro.core.labelling import build_labelling
 from repro.core.metagraph import build_meta_graph

@@ -4,13 +4,9 @@ Each test corresponds to a numbered example or figure in the paper, so
 a reviewer can line the suite up against the text.
 """
 
-import numpy as np
-import pytest
 
 from repro import Graph, QbSIndex, spg_oracle
 from repro.baselines import PPLIndex
-
-from _corpus import FIGURE3_EDGES
 
 
 class TestExample31And33:

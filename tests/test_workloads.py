@@ -1,6 +1,5 @@
 """Workload layer: dataset stand-ins and query sampling."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ReproError
