@@ -82,7 +82,7 @@ from .graph import Graph, GraphBuilder, build_graph
 # Importing the dynamic package registers the "dynamic" engine family.
 from .dynamic import DeltaGraph, DynamicIndex
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -32,6 +32,17 @@ Three kinds of commands:
 
   A non-dynamic index is promoted on the fly (``ppl``/``parent-ppl``
   promote in place; other families trigger a one-off label build).
+
+* **serve** — run the concurrent serving subsystem over a stand-in or
+  a saved index: a worker-pool + batching
+  :class:`~repro.serving.service.QueryService` behind a JSON
+  HTTP endpoint (or a local smoke load with ``--smoke``)::
+
+      python -m repro serve --dataset douban --workers 4 --port 8080
+      python -m repro serve --index douban.idx --dynamic --smoke 2000
+
+  ``--dynamic`` promotes the index so ``POST /update`` can mutate the
+  graph behind hot-swapped snapshots.
 """
 
 from __future__ import annotations
@@ -150,6 +161,56 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(0: never)")
     update_cmd.add_argument("--out", default=None,
                             help="save the updated index here")
+
+    serve_cmd = commands.add_parser(
+        "serve", help="serve queries concurrently over HTTP")
+    source = serve_cmd.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", default=None,
+                        help="stand-in dataset to build and serve")
+    source.add_argument("--index", default=None,
+                        help="saved index to serve (build command "
+                             "output)")
+    serve_cmd.add_argument("--method", default="ppl",
+                           choices=available_methods(),
+                           help="index family for --dataset "
+                                "(default: ppl)")
+    serve_cmd.add_argument("--param", action="append", default=[],
+                           metavar="KEY=VALUE",
+                           help="build parameter for --dataset "
+                                "(JSON values; repeatable)")
+    serve_cmd.add_argument("--dynamic", action="store_true",
+                           help="promote to a dynamic index so POST "
+                                "/update can mutate the graph")
+    serve_cmd.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default: cores, "
+                                "capped at 8)")
+    serve_cmd.add_argument("--mode", default="distance",
+                           choices=QUERY_MODES,
+                           help="default per-query computation")
+    serve_cmd.add_argument("--cache", type=int, default=4096,
+                           help="per-worker LRU result cache size")
+    serve_cmd.add_argument("--budget", type=float, default=None,
+                           help="per-request time budget in seconds")
+    serve_cmd.add_argument("--batch", type=int, default=256,
+                           help="max distinct pairs per worker batch")
+    serve_cmd.add_argument("--delay-ms", type=float, default=2.0,
+                           help="max batching delay in milliseconds")
+    serve_cmd.add_argument("--queue-depth", type=int, default=10_000,
+                           help="admission-control pending limit")
+    serve_cmd.add_argument("--store", default="shm",
+                           choices=("shm", "file", "cow"),
+                           help="snapshot transport to the workers")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address for the HTTP endpoint")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="bind port (0 picks a free one)")
+    serve_cmd.add_argument("--smoke", type=int, default=None,
+                           metavar="N",
+                           help="skip HTTP: fire N hot-key requests "
+                                "through the service, print the "
+                                "latency report, exit")
+    serve_cmd.add_argument("--seed", type=int, default=0,
+                           help="seed for the --smoke workload")
     return parser
 
 
@@ -169,6 +230,8 @@ def _dispatch(args) -> int:
         return _run_query(args)
     if args.experiment == "update":
         return _run_update(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     runner = _EXPERIMENTS[args.experiment]
     accepted = _accepts(runner)
     kwargs = {}
@@ -345,6 +408,83 @@ def _run_update(args) -> int:
         index.save(args.out)
         print(f"saved updated dynamic index to {args.out}")
     return 0
+
+
+def _run_serve(args) -> int:
+    from .serving import QueryService, make_server, run_closed_loop
+    from .workloads import sample_pairs_hotspot
+
+    if args.smoke is not None and args.smoke <= 0:
+        raise ReproError("--smoke needs a positive request count")
+    index = _load_serving_index(args)
+    options = QueryOptions(mode=args.mode, cache_size=args.cache,
+                           time_budget=args.budget)
+    with QueryService(index,
+                      num_workers=args.workers,
+                      options=options,
+                      store=args.store,
+                      max_batch=args.batch,
+                      max_delay=args.delay_ms / 1000.0,
+                      max_pending=args.queue_depth) as service:
+        stats = service.stats()
+        print(f"serving {stats['method']!r} index "
+              f"(|V|={index.graph.num_vertices}) with "
+              f"{stats['num_workers']} workers, "
+              f"store={stats['store']}, mode={args.mode}")
+        if args.smoke is not None:
+            pairs = sample_pairs_hotspot(index.graph, args.smoke,
+                                         seed=args.seed)
+            report = run_closed_loop(service.submit, pairs,
+                                     num_clients=8)
+            print(report.format())
+            stats = service.stats()
+            print(f"batches: {stats['batches']}, deduplicated: "
+                  f"{stats['deduplicated']}, epoch: {stats['epoch']}")
+            return 0
+        server = make_server(service, host=args.host, port=args.port,
+                             verbose=True)
+        host, port = server.server_address[:2]
+        print(f"listening on http://{host}:{port} "
+              f"(POST /query, POST /update, GET /stats, GET /healthz; "
+              f"Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
+def _load_serving_index(args):
+    """Resolve the serve command's source index (build or load)."""
+    from .dynamic import DynamicIndex
+    from .engine.families import ParentPplPathIndex, PplPathIndex
+
+    if args.index is not None:
+        index = load_index(args.index)
+    else:
+        from .workloads import load_dataset
+
+        graph = load_dataset(args.dataset)
+        if get_index_class(args.method).directed:
+            raise ReproError(
+                "the serving subsystem serves undirected stand-ins; "
+                f"{args.method!r} is directed"
+            )
+        index = build_index(graph, args.method,
+                            **_parse_params(args.param))
+    if args.dynamic and not isinstance(index, DynamicIndex):
+        if index.directed:
+            raise ReproError("--dynamic requires an undirected index")
+        if isinstance(index, (PplPathIndex, ParentPplPathIndex)):
+            index = DynamicIndex.from_static(index)
+        else:
+            index = DynamicIndex.build(index.graph)
+        print(f"promoted to a dynamic index over {index.family!r} "
+              f"labels")
+    return index
 
 
 def _render_value(value) -> str:

@@ -25,8 +25,9 @@ without implementing any of it.
 
 from __future__ import annotations
 
+import threading
 import time
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -88,6 +89,7 @@ class QueryRecord:
     seconds: float
     cached: bool = False
     stats: Optional[SearchStats] = None
+    mode: str = "spg"
 
 
 @dataclass
@@ -124,6 +126,9 @@ class BatchReport:
         return {
             "num_queries": self.num_queries,
             "cache_hits": self.cache_hits,
+            "cache_hit_rate": (self.cache_hits / self.num_queries
+                               if self.records else 0.0),
+            "mode_counts": dict(Counter(r.mode for r in self.records)),
             "truncated": self.truncated,
             "elapsed_seconds": self.elapsed,
             "mean_query_ms": self.mean_query_ms(),
@@ -137,17 +142,23 @@ class BatchReport:
 class QuerySession:
     """Batch query executor over one index.
 
-    Sessions are cheap to create and hold only the LRU cache as
-    mutable state; one session per workload (or per serving worker)
-    is the intended granularity.
+    Sessions are cheap to create and hold only the LRU cache (plus its
+    hit/miss counters) as mutable state; one session per workload (or
+    per serving worker) is the intended granularity. The cache is
+    guarded by a lock, so a session may be shared by the serving
+    front-end's threads; the underlying indexes are read-only at query
+    time, so the queries themselves need no coordination.
     """
 
     def __init__(self, index: PathIndex,
                  options: Optional[QueryOptions] = None) -> None:
         self._index = index
         self.options = options if options is not None else QueryOptions()
-        self._cache: "OrderedDict[Tuple[int, int, str], Any]" = \
+        self._cache: "OrderedDict[Tuple[int, int, str, int], Any]" = \
             OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def index(self) -> PathIndex:
@@ -157,8 +168,13 @@ class QuerySession:
     # Execution
     # ------------------------------------------------------------------
 
-    def query(self, u: int, v: int) -> QueryRecord:
+    def query(self, u: int, v: int,
+              mode: Optional[str] = None) -> QueryRecord:
         """Execute one query under the session's options.
+
+        ``mode`` overrides the session-wide ``options.mode`` for this
+        query (the serving workers answer mixed-mode traffic through
+        one session); when omitted the session default applies.
 
         The cache key includes the index's :attr:`~repro.engine.base.
         PathIndex.version`, so entries cached before a mutation can
@@ -166,28 +182,40 @@ class QuerySession:
         out of the LRU.
         """
         options = self.options
-        key = (u, v, options.mode, self._index.version)
+        if mode is None:
+            mode = options.mode
+        elif mode not in QUERY_MODES:
+            raise QueryError(
+                f"unknown query mode {mode!r}; "
+                f"expected one of {QUERY_MODES}"
+            )
+        key = (u, v, mode, self._index.version)
         if options.cache_size:
-            if key in self._cache:
-                self._cache.move_to_end(key)
-                return QueryRecord(u=u, v=v, value=self._cache[key],
-                                   seconds=0.0, cached=True)
+            with self._cache_lock:
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+                    self._cache_hits += 1
+                    return QueryRecord(u=u, v=v, value=self._cache[key],
+                                       seconds=0.0, cached=True,
+                                       mode=mode)
+                self._cache_misses += 1
         stats = None
         with Stopwatch() as sw:
-            if options.mode == "distance":
+            if mode == "distance":
                 value = self._index.distance(u, v)
             else:
                 if options.collect_stats:
                     spg, stats = self._index.query_with_stats(u, v)
                 else:
                     spg = self._index.query(u, v)
-                value = spg if options.mode == "spg" else spg.count_paths()
+                value = spg if mode == "spg" else spg.count_paths()
         if options.cache_size:
-            self._cache[key] = value
-            if len(self._cache) > options.cache_size:
-                self._cache.popitem(last=False)
+            with self._cache_lock:
+                self._cache[key] = value
+                if len(self._cache) > options.cache_size:
+                    self._cache.popitem(last=False)
         return QueryRecord(u=u, v=v, value=value, seconds=sw.elapsed,
-                           stats=stats)
+                           stats=stats, mode=mode)
 
     def run(self, pairs: Iterable[Tuple[int, int]]) -> BatchReport:
         """Execute a batch, honouring the time budget if one is set.
@@ -217,7 +245,25 @@ class QuerySession:
 
     @property
     def cache_len(self) -> int:
-        return len(self._cache)
+        with self._cache_lock:
+            return len(self._cache)
+
+    @property
+    def cache_hits_total(self) -> int:
+        """Cumulative cache hits over the session's lifetime."""
+        return self._cache_hits
+
+    @property
+    def cache_misses_total(self) -> int:
+        """Cumulative cache misses over the session's lifetime."""
+        return self._cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Lifetime hit rate (0.0 when caching is off or unused)."""
+        looked_up = self._cache_hits + self._cache_misses
+        return self._cache_hits / looked_up if looked_up else 0.0
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()

@@ -69,3 +69,35 @@ class IndexFormatError(ReproError):
     written by an incompatible format version, and archives whose
     recorded method has no registered implementation.
     """
+
+
+class ServingError(ReproError):
+    """Raised when the concurrent serving subsystem fails.
+
+    Covers worker-pool lifecycle problems (a dead worker, a shutdown
+    pool receiving requests) and snapshot transport failures.
+    """
+
+
+class ServiceOverloadedError(ServingError):
+    """Raised by admission control when the serving queue is full.
+
+    Clients are expected to back off and retry; the HTTP front-end
+    maps this to a 503 response.
+    """
+
+
+class RequestExpiredError(ServingError):
+    """Raised when a request's time budget lapsed before it was served.
+
+    Budgeted requests that wait in the batching queue past their
+    deadline fail with this instead of returning a late answer.
+    """
+
+
+class ImmutableIndexError(ServingError):
+    """Raised when updates are sent to a service over a static index.
+
+    Only mutable sources (the dynamic family) accept
+    ``apply_updates``; the HTTP front-end maps this to a 409.
+    """

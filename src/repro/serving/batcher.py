@@ -1,0 +1,415 @@
+"""Request batching: coalescing, deduplication, admission control.
+
+Per-request IPC would drown the worker pool in queue overhead — a
+label-merge distance query costs tens of microseconds, about the same
+as pickling one message. The :class:`Batcher` amortizes that cost by
+coalescing in-flight requests into batches, and exploits traffic
+skew by *deduplicating* within a batch: identical ``(u, v, mode)``
+keys are computed once and fanned out to every waiting caller. Under
+hot-key traffic (see ``sample_pairs_hotspot``) this cuts worker work
+well below the request count.
+
+Flow control is explicit rather than emergent:
+
+* **admission control** — at most ``max_pending`` requests may be
+  unresolved at once; past that, :meth:`submit` raises
+  :class:`~repro.errors.ServiceOverloadedError` immediately instead
+  of growing an unbounded queue (the HTTP front-end maps this to 503);
+* **time budgets** — with a ``time_budget`` (taken from the service's
+  :class:`~repro.engine.session.QueryOptions`), a request that is
+  still queued at its deadline fails with
+  :class:`~repro.errors.RequestExpiredError` at flush, and one whose
+  answer arrives late gets the same error instead of a stale success.
+
+A dispatcher thread flushes an accumulating batch when it reaches
+``max_batch`` distinct keys or has aged ``max_delay`` seconds; a
+collector thread resolves futures from worker responses. Batches
+whose snapshot was retired under them (a hot-swap race) are retried
+once against the current snapshot before failing their futures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from ..errors import (
+    RequestExpiredError,
+    ServiceOverloadedError,
+    ServingError,
+)
+from .pool import BatchMessage, BatchResponse, PairError, WorkerPool
+from .snapshot import SnapshotHandle
+
+__all__ = ["Batcher", "Answer"]
+
+
+class Answer(NamedTuple):
+    """A resolved request: the value plus the epoch that served it."""
+
+    value: object
+    epoch: int
+
+
+@dataclass
+class _Entry:
+    """All callers waiting on one deduplicated ``(u, v)`` key."""
+
+    futures: List[Future] = field(default_factory=list)
+    deadline: Optional[float] = None
+
+
+@dataclass
+class _Accumulating:
+    """A per-mode batch still open for coalescing."""
+
+    opened: float
+    entries: "Dict[Tuple[int, int], _Entry]" = field(
+        default_factory=dict)
+
+
+@dataclass
+class _InFlight:
+    """A dispatched batch awaiting its response."""
+
+    mode: Optional[str]
+    keys: List[Tuple[int, int]]
+    entries: Dict[Tuple[int, int], _Entry]
+    retried: bool = False
+
+
+class Batcher:
+    """Coalesces requests into deduplicated batches for a worker pool.
+
+    ``handle_provider`` returns the current
+    :class:`~repro.serving.snapshot.SnapshotHandle`; it is consulted
+    at dispatch time, so a hot swap takes effect on the very next
+    batch without any coordination with callers.
+    """
+
+    def __init__(self, pool: WorkerPool,
+                 handle_provider: Callable[[], SnapshotHandle], *,
+                 max_batch: int = 256,
+                 max_delay: float = 0.002,
+                 max_pending: int = 10_000,
+                 time_budget: Optional[float] = None) -> None:
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if max_delay <= 0:
+            raise ServingError("max_delay must be positive")
+        if max_pending < 1:
+            raise ServingError("max_pending must be >= 1")
+        self._pool = pool
+        self._handle_provider = handle_provider
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.max_pending = max_pending
+        self.time_budget = time_budget
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._accumulating: Dict[Optional[str], _Accumulating] = {}
+        self._inflight: Dict[int, _InFlight] = {}
+        self._batch_ids = itertools.count()
+        self._pending = 0  # unresolved requests (admission control)
+        self._closed = False
+        self.counters = {
+            "submitted": 0, "answered": 0, "failed": 0,
+            "deduplicated": 0, "rejected": 0, "expired": 0,
+            "batches": 0, "retries": 0, "worker_seconds": 0.0,
+            "worker_cache_hits": 0, "worker_deaths": 0,
+        }
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, daemon=True,
+            name="repro-serving-dispatcher")
+        self._collector = threading.Thread(
+            target=self._collect_loop, daemon=True,
+            name="repro-serving-collector")
+        self._dispatcher.start()
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, u: int, v: int,
+               mode: Optional[str] = None) -> "Future[Answer]":
+        """Enqueue one request; the future resolves to an
+        :class:`Answer` (or raises the request's failure)."""
+        future: "Future[Answer]" = Future()
+        now = time.monotonic()
+        deadline = (now + self.time_budget
+                    if self.time_budget is not None else None)
+        with self._lock:
+            if self._closed:
+                raise ServingError("batcher is closed")
+            if self._pending >= self.max_pending:
+                self.counters["rejected"] += 1
+                raise ServiceOverloadedError(
+                    f"serving queue is full "
+                    f"({self._pending} requests pending, "
+                    f"limit {self.max_pending}); retry later"
+                )
+            self._pending += 1
+            self.counters["submitted"] += 1
+            self._enqueue_locked(mode, u, v, future, deadline, now)
+        return future
+
+    def submit_many(self, pairs, mode: Optional[str] = None
+                    ) -> List["Future[Answer]"]:
+        """Bulk admission: one lock pass for a whole burst of pairs.
+
+        All-or-nothing against the pending limit (a burst that does
+        not fit raises :class:`ServiceOverloadedError` without partial
+        admission); otherwise exactly like per-pair :meth:`submit`.
+        """
+        pairs = list(pairs)
+        now = time.monotonic()
+        deadline = (now + self.time_budget
+                    if self.time_budget is not None else None)
+        futures: List["Future[Answer]"] = []
+        with self._lock:
+            if self._closed:
+                raise ServingError("batcher is closed")
+            if self._pending + len(pairs) > self.max_pending:
+                self.counters["rejected"] += len(pairs)
+                raise ServiceOverloadedError(
+                    f"burst of {len(pairs)} does not fit "
+                    f"({self._pending} requests pending, "
+                    f"limit {self.max_pending}); retry later"
+                )
+            self._pending += len(pairs)
+            self.counters["submitted"] += len(pairs)
+            for u, v in pairs:
+                future: "Future[Answer]" = Future()
+                futures.append(future)
+                self._enqueue_locked(mode, u, v, future, deadline,
+                                     now)
+        return futures
+
+    def _enqueue_locked(self, mode: Optional[str], u: int, v: int,
+                        future: "Future[Answer]",
+                        deadline: Optional[float],
+                        now: float) -> None:
+        batch = self._accumulating.get(mode)
+        if batch is None:
+            batch = _Accumulating(opened=now)
+            self._accumulating[mode] = batch
+            # Wake the dispatcher only for a *new* batch — it sleeps
+            # until this batch ripens; per-request wakeups would just
+            # burn context switches at high submit rates.
+            self._wake.notify()
+        entry = batch.entries.get((u, v))
+        if entry is None:
+            entry = _Entry(deadline=deadline)
+            batch.entries[(u, v)] = entry
+        else:
+            self.counters["deduplicated"] += 1
+            if deadline is not None:
+                entry.deadline = max(entry.deadline or 0.0, deadline)
+        entry.futures.append(future)
+        if len(batch.entries) >= self.max_batch:
+            self._flush_locked(mode)
+
+    def flush(self) -> None:
+        """Dispatch every accumulating batch immediately."""
+        with self._lock:
+            for mode in list(self._accumulating):
+                self._flush_locked(mode)
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Flush, then wait for all in-flight batches to resolve."""
+        self.flush()
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._inflight or self._accumulating:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wake.wait(timeout=min(remaining, 0.1))
+        return True
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                **self.counters,
+                "pending": self._pending,
+                "inflight_batches": len(self._inflight),
+            }
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain what's possible, then fail anything still pending."""
+        self.drain(timeout=timeout)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers: List[_Entry] = []
+            for batch in self._accumulating.values():
+                leftovers.extend(batch.entries.values())
+            self._accumulating.clear()
+            for inflight in self._inflight.values():
+                leftovers.extend(inflight.entries.values())
+            self._inflight.clear()
+            for entry in leftovers:
+                self._fail_entry_locked(
+                    entry, ServingError("serving shut down before the "
+                                        "request was answered"))
+            self._wake.notify_all()
+        self._dispatcher.join(timeout=1.0)
+        # The collector blocks on the pool's response queue; it is a
+        # daemon and dies with the process once the pool closes.
+
+    # ------------------------------------------------------------------
+    # Dispatch (batcher -> pool)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                ripest = None
+                for mode, batch in list(self._accumulating.items()):
+                    age = now - batch.opened
+                    if age >= self.max_delay:
+                        self._flush_locked(mode)
+                    elif ripest is None or batch.opened < ripest:
+                        ripest = batch.opened
+                wait = (self.max_delay if ripest is None
+                        else max(0.0, ripest + self.max_delay - now))
+                self._wake.wait(timeout=wait)
+
+    def _flush_locked(self, mode: Optional[str]) -> None:
+        batch = self._accumulating.pop(mode, None)
+        if batch is None:
+            return
+        now = time.monotonic()
+        live: Dict[Tuple[int, int], _Entry] = {}
+        for key, entry in batch.entries.items():
+            if entry.deadline is not None and now > entry.deadline:
+                self._fail_entry_locked(entry, RequestExpiredError(
+                    f"request ({key[0]}, {key[1]}) expired after "
+                    f"{self.time_budget:.3f}s in the serving queue"),
+                    expired=True)
+            else:
+                live[key] = entry
+        if not live:
+            return
+        batch_id = next(self._batch_ids)
+        keys = list(live)
+        handle = self._handle_provider()
+        self._inflight[batch_id] = _InFlight(mode=mode, keys=keys,
+                                             entries=live)
+        self.counters["batches"] += 1
+        self._pool.submit(BatchMessage(batch_id, handle, mode,
+                                       tuple(keys)))
+
+    # ------------------------------------------------------------------
+    # Collection (pool -> futures)
+    # ------------------------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            response = self._pool.get_response(timeout=0.2)
+            with self._lock:
+                if self._closed and not self._inflight:
+                    return
+                self._reap_dead_workers_locked()
+                if response is None:
+                    continue
+                if not isinstance(response, BatchResponse):
+                    continue  # readiness report of a respawned worker
+                inflight = self._inflight.pop(response.batch_id, None)
+                if inflight is None:  # resolved by close()
+                    continue
+                if response.error is not None:
+                    self._handle_batch_error_locked(response.batch_id,
+                                                    inflight,
+                                                    response.error)
+                else:
+                    self._resolve_locked(inflight, response)
+                    self.counters["worker_cache_hits"] += \
+                        response.cache_hits
+                self.counters["worker_seconds"] += response.seconds
+                self._wake.notify_all()
+
+    def _reap_dead_workers_locked(self) -> None:
+        """Heal the pool after a worker death (OOM, kill, segfault).
+
+        A batch a dead worker held never gets a response, which would
+        leak its futures and its admission-control budget forever.
+        Respawn the missing workers, then re-dispatch everything in
+        flight: a batch that was merely still queued gets answered
+        twice, and the duplicate finds no in-flight entry — harmless.
+        """
+        pool = self._pool
+        if pool.alive_workers >= pool.num_workers:
+            return
+        handle = self._handle_provider()
+        respawned = pool.respawn(handle)
+        if not respawned:
+            return
+        self.counters["worker_deaths"] += respawned
+        inflight, self._inflight = self._inflight, {}
+        for batch in inflight.values():
+            new_id = next(self._batch_ids)
+            self._inflight[new_id] = batch
+            pool.submit(BatchMessage(new_id, handle, batch.mode,
+                                     tuple(batch.keys)))
+
+    def _handle_batch_error_locked(self, batch_id: int,
+                                   inflight: _InFlight,
+                                   error: str) -> None:
+        if not inflight.retried:
+            # Most batch-level failures are hot-swap races (the
+            # snapshot was retired mid-flight); one retry against the
+            # current handle resolves those.
+            inflight.retried = True
+            self.counters["retries"] += 1
+            new_id = next(self._batch_ids)
+            self._inflight[new_id] = inflight
+            self._pool.submit(BatchMessage(
+                new_id, self._handle_provider(), inflight.mode,
+                tuple(inflight.keys)))
+            return
+        failure = ServingError(f"batch failed in worker: {error}")
+        for entry in inflight.entries.values():
+            self._fail_entry_locked(entry, failure)
+
+    def _resolve_locked(self, inflight: _InFlight,
+                        response) -> None:
+        now = time.monotonic()
+        for key, value in zip(inflight.keys, response.values):
+            entry = inflight.entries[key]
+            if isinstance(value, PairError):
+                self._fail_entry_locked(
+                    entry, ServingError(value.message))
+                continue
+            if entry.deadline is not None and now > entry.deadline:
+                self._fail_entry_locked(entry, RequestExpiredError(
+                    f"request ({key[0]}, {key[1]}) answered after its "
+                    f"time budget"), expired=True)
+                continue
+            answer = Answer(value, response.epoch)
+            for future in entry.futures:
+                self._pending -= 1
+                self.counters["answered"] += 1
+                try:
+                    future.set_result(answer)
+                except InvalidStateError:  # caller cancelled
+                    pass
+
+    def _fail_entry_locked(self, entry: _Entry, error: Exception, *,
+                           expired: bool = False) -> None:
+        for future in entry.futures:
+            self._pending -= 1
+            self.counters["expired" if expired else "failed"] += 1
+            try:
+                future.set_exception(error)
+            except InvalidStateError:
+                pass

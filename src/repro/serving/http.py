@@ -1,0 +1,215 @@
+"""HTTP front-end: a stdlib JSON endpoint over a `QueryService`.
+
+`ThreadingHTTPServer` handles connection concurrency; every handler
+thread funnels into the service's batcher, so wire-level parallelism
+becomes batched, deduplicated worker traffic. No framework, no
+dependency — ``http.server`` plus ``json``.
+
+Endpoints:
+
+``GET /healthz``
+    ``{"ok": true, "epoch": N, "workers": M}`` — liveness plus the
+    serving epoch.
+``GET /stats``
+    The service's counters (submitted/answered/deduplicated/...,
+    pool and snapshot gauges).
+``POST /query``
+    Body ``{"u": 1, "v": 2, "mode": "distance"}`` for one query, or
+    ``{"pairs": [[1, 2], [3, 4]], "mode": "spg"}`` for a burst.
+    Answers ``{"results": [{"u", "v", "value", "epoch"}, ...]}``;
+    ``mode`` defaults to the service's session mode. Distances and
+    path counts are JSON numbers; shortest path graphs are rendered
+    as ``{"distance": d, "edges": [[a, b], ...]}``.
+``POST /update``
+    Body ``{"ops": [["insert", u, v], ["delete", u, v]], "refresh":
+    true}`` — applies edge updates to a mutable source index and (by
+    default) hot-swaps a fresh snapshot. 409 for immutable sources.
+
+Error mapping: 400 malformed input, 404 unknown path, 409 immutable
+source, 503 admission control (queue full — retry later), 504 time
+budget expired.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Tuple
+
+from ..errors import (
+    ImmutableIndexError,
+    QueryError,
+    RequestExpiredError,
+    ReproError,
+    ServiceOverloadedError,
+    VertexError,
+)
+from .service import QueryService
+
+__all__ = ["ServingHTTPServer", "make_server", "render_value"]
+
+#: Largest accepted request body, in bytes (a burst of ~100k pairs).
+_MAX_BODY = 4 * 1024 * 1024
+
+
+def render_value(value: Any) -> Any:
+    """JSON-render one query answer (distance, count, or SPG)."""
+    if value is None or isinstance(value, (int, float)):
+        return value
+    edges = getattr(value, "edges", None)
+    if edges is not None:
+        return {"distance": value.distance,
+                "edges": sorted([int(a), int(b)] for a, b in edges)}
+    arcs = getattr(value, "arcs", None)
+    if arcs is not None:
+        return {"distance": value.distance,
+                "arcs": sorted([int(a), int(b)] for a, b in arcs)}
+    return str(value)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a service via the server instance."""
+
+    server: "ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("empty request body")
+        if length > _MAX_BODY:
+            raise ValueError(f"request body over {_MAX_BODY} bytes")
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(200, {"ok": True, "epoch": service.epoch,
+                              "workers": service.num_workers})
+        elif self.path == "/stats":
+            self._reply(200, service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/query":
+            self._handle(self._do_query)
+        elif self.path == "/update":
+            self._handle(self._do_update)
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def _handle(self, route) -> None:
+        try:
+            status, payload = route(self._read_json())
+        except (ValueError, KeyError, TypeError, VertexError,
+                QueryError) as exc:
+            status, payload = 400, {"error": f"bad request: {exc}"}
+        except ServiceOverloadedError as exc:
+            status, payload = 503, {"error": str(exc), "retry": True}
+        except ImmutableIndexError as exc:
+            status, payload = 409, {"error": str(exc)}
+        except (RequestExpiredError, FutureTimeoutError) as exc:
+            status, payload = 504, {"error": str(exc)
+                                    or "query timed out"}
+        except ReproError as exc:
+            status, payload = 500, {"error": str(exc)}
+        self._reply(status, payload)
+
+    def _do_query(self, payload: Dict[str, Any]
+                  ) -> Tuple[int, Dict[str, Any]]:
+        service = self.server.service
+        mode = payload.get("mode")
+        pairs = _extract_pairs(payload)
+        # Bulk admission: one admission-control pass for the whole
+        # request, and no half-admitted burst left behind on a 503.
+        futures = service.submit_many(pairs, mode)
+        results: List[Dict[str, Any]] = []
+        for (u, v), future in zip(pairs, futures):
+            answer = future.result(timeout=self.server.query_timeout)
+            results.append({"u": u, "v": v,
+                            "value": render_value(answer.value),
+                            "epoch": answer.epoch})
+        return 200, {"results": results}
+
+    def _do_update(self, payload: Dict[str, Any]
+                   ) -> Tuple[int, Dict[str, Any]]:
+        service = self.server.service
+        ops = payload.get("ops")
+        if not isinstance(ops, list) or not ops:
+            raise ValueError("'ops' must be a non-empty list of "
+                             "[kind, u, v] entries")
+        parsed = []
+        for op in ops:
+            if not isinstance(op, (list, tuple)) or len(op) != 3:
+                raise ValueError(f"malformed op {op!r}")
+            kind, u, v = op
+            parsed.append((str(kind), int(u), int(v)))
+        outcome = service.apply_updates(
+            parsed, refresh=bool(payload.get("refresh", True)))
+        return 200, dict(outcome)
+
+
+def _extract_pairs(payload: Dict[str, Any]) -> List[Tuple[int, int]]:
+    if "pairs" in payload:
+        pairs = payload["pairs"]
+        if not isinstance(pairs, list) or not pairs:
+            raise ValueError("'pairs' must be a non-empty list")
+        return [(int(u), int(v)) for u, v in pairs]
+    return [(int(payload["u"]), int(payload["v"]))]
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A `ThreadingHTTPServer` bound to one `QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: QueryService, *,
+                 verbose: bool = False,
+                 query_timeout: float = 30.0) -> None:
+        self.service = service
+        self.verbose = verbose
+        self.query_timeout = query_timeout
+        super().__init__(address, _Handler)
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, examples)."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  daemon=True,
+                                  name="repro-serving-http")
+        thread.start()
+        return thread
+
+
+def make_server(service: QueryService, host: str = "127.0.0.1",
+                port: int = 0, *, verbose: bool = False,
+                query_timeout: float = 30.0) -> ServingHTTPServer:
+    """Bind (but do not start) the JSON endpoint for ``service``.
+
+    ``port=0`` picks a free ephemeral port; the bound address is at
+    ``server.server_address``.
+    """
+    return ServingHTTPServer((host, port), service, verbose=verbose,
+                             query_timeout=query_timeout)

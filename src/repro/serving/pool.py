@@ -1,0 +1,307 @@
+"""Process worker pool: parallel query execution off the GIL.
+
+Label-merge queries are pure Python over numpy-backed labels, so
+threads cannot scale them — every merge holds the GIL. The
+:class:`WorkerPool` runs N OS processes instead, each holding its own
+materialized replica of the current snapshot
+(:mod:`repro.serving.snapshot`) and a
+:class:`~repro.engine.session.QuerySession` over it (giving every
+worker the version-keyed LRU result cache for free).
+
+Protocol: the parent round-robins :class:`BatchMessage` tuples over
+*per-worker* request queues; each worker answers its batches onto one
+shared response queue. Requests deliberately do not share a queue: a
+blocked reader of a ``multiprocessing.Queue`` holds the queue's
+reader lock while waiting, so a worker killed mid-wait would poison a
+shared queue for every sibling — with one queue per worker, a death
+costs only that worker's undelivered batches, which the batcher
+re-dispatches. Every message carries the current
+:class:`~repro.serving.snapshot.SnapshotHandle`; a worker whose
+materialized epoch differs re-materializes before answering — hot
+swaps need no broadcast and cannot be missed, a worker is simply
+never allowed to answer a batch against the wrong epoch.
+
+Failure containment: a bad pair (unknown vertex) poisons only its own
+slot in the response (:class:`PairError`), and a batch-level failure
+(e.g. a retired snapshot segment) is reported in the response's
+``error`` field for the batcher to retry against the current epoch —
+neither kills the worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+from typing import List, NamedTuple, Optional, Tuple
+
+from .._util import Stopwatch
+from ..engine.session import QueryOptions, QuerySession
+from ..errors import ReproError, ServingError
+from .snapshot import SnapshotHandle, materialize_snapshot
+
+__all__ = ["WorkerPool", "BatchMessage", "BatchResponse", "PairError",
+           "default_num_workers"]
+
+#: Seconds a worker may take to report readiness at startup.
+_READY_TIMEOUT = 60.0
+
+#: Sentinel telling a worker to exit its loop.
+_SHUTDOWN = None
+
+
+def default_num_workers() -> int:
+    """Serving default: the machine's cores, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class BatchMessage(NamedTuple):
+    """One dispatched batch: id, snapshot to serve it from, work."""
+
+    batch_id: int
+    handle: SnapshotHandle
+    mode: Optional[str]
+    pairs: Tuple[Tuple[int, int], ...]
+
+
+class BatchResponse(NamedTuple):
+    """One answered (or failed) batch from a worker."""
+
+    batch_id: int
+    epoch: int
+    worker_id: int
+    values: Optional[List]
+    error: Optional[str]
+    seconds: float
+    #: Result-cache hits while answering *this* batch.
+    cache_hits: int
+
+
+class PairError(NamedTuple):
+    """Per-pair failure slot inside an otherwise-answered batch."""
+
+    message: str
+
+
+class _Ready(NamedTuple):
+    """Worker startup report (posted once, before any batch)."""
+
+    worker_id: int
+    error: Optional[str]
+
+
+def _worker_main(worker_id: int, requests, responses,
+                 handle: SnapshotHandle, options: QueryOptions) -> None:
+    """Worker process body: materialize, then serve batches forever."""
+    import signal
+
+    # A terminal Ctrl-C delivers SIGINT to the whole process group;
+    # shutdown belongs to the parent (sentinel, then terminate), so
+    # workers must not die mid-batch with a KeyboardInterrupt spew.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+    try:
+        index = materialize_snapshot(handle)
+        session = QuerySession(index, options)
+        epoch = handle.epoch
+    except BaseException as exc:  # startup failure: report and exit
+        responses.put(_Ready(worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    responses.put(_Ready(worker_id, None))
+    while True:
+        try:
+            message = requests.get()
+        except (EOFError, OSError):  # parent tore the queue down
+            break
+        if message is _SHUTDOWN:
+            break
+        batch_id, handle, mode, pairs = message
+        with Stopwatch() as sw:
+            try:
+                if handle.epoch != epoch:
+                    index = materialize_snapshot(handle)
+                    session = QuerySession(index, options)
+                    epoch = handle.epoch
+                hits_before = session.cache_hits_total
+                values: List = []
+                for u, v in pairs:
+                    try:
+                        values.append(session.query(u, v, mode=mode)
+                                      .value)
+                    except ReproError as exc:
+                        values.append(PairError(str(exc)))
+            except BaseException as exc:
+                responses.put(BatchResponse(
+                    batch_id, handle.epoch, worker_id, None,
+                    f"{type(exc).__name__}: {exc}", sw.elapsed, 0))
+                continue
+        responses.put(BatchResponse(
+            batch_id, epoch, worker_id, values, None, sw.elapsed,
+            session.cache_hits_total - hits_before))
+
+
+class WorkerPool:
+    """N query-serving processes, one request queue each.
+
+    The pool is transport only — admission control, deduplication and
+    future plumbing live in :class:`~repro.serving.batcher.Batcher`.
+    ``start`` blocks until every worker has materialized the initial
+    snapshot and reported ready, so construction errors surface as one
+    :class:`ServingError` instead of a hung first query.
+    """
+
+    def __init__(self, num_workers: Optional[int] = None,
+                 options: Optional[QueryOptions] = None) -> None:
+        if num_workers is None:
+            num_workers = default_num_workers()
+        if num_workers < 1:
+            raise ServingError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.options = options if options is not None else QueryOptions()
+        context = multiprocessing.get_context()
+        self._responses = context.Queue()
+        self._context = context
+        self._request_queues: List = []
+        self._processes: List = []
+        self._next_slot = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _spawn(self, slot: int, handle: SnapshotHandle):
+        """One worker process with its own request queue."""
+        queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(slot, queue, self._responses, handle, self.options),
+            daemon=True,
+            name=f"repro-serving-worker-{slot}",
+        )
+        process.start()
+        return queue, process
+
+    def start(self, handle: SnapshotHandle) -> None:
+        """Spawn the workers and wait for their readiness reports."""
+        if self._started:
+            raise ServingError("worker pool already started")
+        self._started = True
+        for worker_id in range(self.num_workers):
+            queue, process = self._spawn(worker_id, handle)
+            self._request_queues.append(queue)
+            self._processes.append(process)
+        failures = []
+        for _ in range(self.num_workers):
+            try:
+                ready = self._responses.get(timeout=_READY_TIMEOUT)
+            except queue.Empty:
+                failures.append("worker startup timed out")
+                break
+            if not isinstance(ready, _Ready):  # pragma: no cover
+                failures.append(f"unexpected startup message {ready!r}")
+            elif ready.error is not None:
+                failures.append(f"worker {ready.worker_id}: "
+                                f"{ready.error}")
+        if failures:
+            self.close()
+            raise ServingError(
+                "worker pool failed to start: " + "; ".join(failures))
+
+    def submit(self, message: BatchMessage) -> None:
+        """Enqueue one batch, round-robin over the live workers."""
+        if self._closed:
+            raise ServingError("worker pool is closed")
+        if not self._started:
+            raise ServingError("worker pool not started")
+        handle = message.handle
+        if handle.kind == "cow" and handle.ref is not None:
+            # The cow ref is the live index object; it rode into the
+            # workers on the fork and must never ride the queue —
+            # pickling the full index per batch would drown serving.
+            # Workers recognize the epoch and keep their replica.
+            message = message._replace(
+                handle=handle._replace(ref=None))
+        slot = self._next_slot % self.num_workers
+        for offset in range(self.num_workers):
+            candidate = (self._next_slot + offset) % self.num_workers
+            if self._processes[candidate].is_alive():
+                slot = candidate
+                break
+        # With every worker dead the batch still lands in a queue; the
+        # batcher re-dispatches in-flight batches after a respawn.
+        self._next_slot = (slot + 1) % self.num_workers
+        self._request_queues[slot].put(message)
+
+    def get_response(self, timeout: Optional[float] = None
+                     ) -> Optional[BatchResponse]:
+        """Next answered batch, or ``None`` on timeout."""
+        try:
+            return self._responses.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for process in self._processes
+                   if process.is_alive())
+
+    def respawn(self, handle: SnapshotHandle) -> int:
+        """Replace dead workers; returns how many were respawned.
+
+        Replacements materialize ``handle`` at startup and post their
+        readiness report on the response queue — consumers of
+        :meth:`get_response` must skip non-:class:`BatchResponse`
+        messages (the batcher's collector does). A batch a dead
+        worker took down with it never produces a response; the
+        batcher re-dispatches its in-flight batches after calling
+        this.
+        """
+        if self._closed or not self._started:
+            return 0
+        respawned = 0
+        for slot, process in enumerate(self._processes):
+            if process.is_alive():
+                continue
+            # A fresh queue, always: the dead worker may have died
+            # holding the old queue's reader lock, which would wedge
+            # any successor reading from it. Undelivered batches in
+            # the old queue are in flight by definition — the batcher
+            # re-dispatches them after this returns.
+            old = self._request_queues[slot]
+            queue, replacement = self._spawn(slot, handle)
+            self._request_queues[slot] = queue
+            self._processes[slot] = replacement
+            old.close()
+            old.cancel_join_thread()
+            respawned += 1
+        return respawned
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the workers (sentinel first, terminate stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._request_queues:
+            try:
+                queue.put(_SHUTDOWN)
+            except (ValueError, OSError):  # queue already torn down
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for queue in (*self._request_queues, self._responses):
+            queue.close()
+            # The feeder thread may still hold buffered items; don't
+            # let interpreter shutdown block on it.
+            queue.cancel_join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

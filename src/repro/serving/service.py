@@ -1,0 +1,252 @@
+"""`QueryService` — the serving facade tying the subsystem together.
+
+One object wires the three serving pieces over any registered
+:class:`~repro.engine.base.PathIndex`:
+
+* a :class:`~repro.serving.snapshot.SnapshotManager` publishing
+  versioned snapshots of the source index (hot-swapped while a
+  mutable source absorbs updates);
+* a :class:`~repro.serving.pool.WorkerPool` of query processes, each
+  serving from its materialized replica of the current snapshot;
+* a :class:`~repro.serving.batcher.Batcher` coalescing and
+  deduplicating requests with admission control.
+
+Typical use::
+
+    from repro.serving import QueryService
+
+    with QueryService(index, num_workers=4,
+                      options=QueryOptions(mode="distance",
+                                           cache_size=4096)) as service:
+        answer = service.query(u, v)          # Answer(value, epoch)
+        futures = [service.submit(u, v) for u, v in burst]
+        service.apply_updates([("insert", a, b)])   # mutable sources
+        service.refresh()                     # hot-swap the snapshot
+
+Reads and updates are decoupled by design: queries are answered
+against the latest *published* snapshot, updates mutate the source
+index and take effect at the next :meth:`QueryService.refresh` (which
+:meth:`QueryService.apply_updates` triggers by default). Every answer
+carries the epoch that served it, so exactness is auditable per epoch
+even while the graph evolves.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine.base import PathIndex
+from ..engine.session import QUERY_MODES, QueryOptions
+from ..errors import (
+    ImmutableIndexError,
+    QueryError,
+    ServingError,
+    VertexError,
+)
+from .batcher import Answer, Batcher
+from .pool import WorkerPool
+from .snapshot import Snapshot, SnapshotManager
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Concurrent query serving over one source index."""
+
+    def __init__(self, index: PathIndex, *,
+                 num_workers: Optional[int] = None,
+                 options: Optional[QueryOptions] = None,
+                 store: str = "shm",
+                 directory=None,
+                 snapshot_keep: int = 2,
+                 max_batch: int = 256,
+                 max_delay: float = 0.002,
+                 max_pending: int = 10_000) -> None:
+        self._source = index
+        self._options = options if options is not None else QueryOptions()
+        self._update_lock = threading.Lock()
+        self._snapshots = SnapshotManager(index, store=store,
+                                          directory=directory,
+                                          keep=snapshot_keep)
+        self._pool: Optional[WorkerPool] = None
+        self._batcher: Optional[Batcher] = None
+        self._closed = False
+        try:
+            snapshot = self._snapshots.publish()
+            self._pool = WorkerPool(num_workers=num_workers,
+                                    options=self._options)
+            self._pool.start(snapshot.handle)
+            self._batcher = Batcher(
+                self._pool, self._snapshots.current_handle,
+                max_batch=max_batch, max_delay=max_delay,
+                max_pending=max_pending,
+                time_budget=self._options.time_budget)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def submit(self, u: int, v: int,
+               mode: Optional[str] = None) -> "Future[Answer]":
+        """Asynchronous query; the future resolves to an
+        :class:`~repro.serving.batcher.Answer`.
+
+        Vertex ids (against the current snapshot's graph) and the
+        mode are validated here, so a bad request is rejected at
+        admission instead of travelling to a worker and back.
+        """
+        self._check_open()
+        self._check_mode(mode)
+        u, v = int(u), int(v)
+        num_vertices = self._snapshots.current.graph.num_vertices
+        for vertex in (u, v):
+            if not 0 <= vertex < num_vertices:
+                raise VertexError(vertex, num_vertices)
+        return self._batcher.submit(u, v, mode)
+
+    def query(self, u: int, v: int, mode: Optional[str] = None, *,
+              timeout: float = 30.0) -> Answer:
+        """Synchronous query through the full batching path."""
+        return self.submit(u, v, mode).result(timeout=timeout)
+
+    def submit_many(self, pairs: Iterable[Tuple[int, int]],
+                    mode: Optional[str] = None
+                    ) -> List["Future[Answer]"]:
+        """Bulk-admit a burst of pairs (one admission-control pass)."""
+        self._check_open()
+        self._check_mode(mode)
+        pairs = [(int(u), int(v)) for u, v in pairs]
+        num_vertices = self._snapshots.current.graph.num_vertices
+        for u, v in pairs:
+            for vertex in (u, v):
+                if not 0 <= vertex < num_vertices:
+                    raise VertexError(vertex, num_vertices)
+        return self._batcher.submit_many(pairs, mode)
+
+    def query_many(self, pairs: Iterable[Tuple[int, int]],
+                   mode: Optional[str] = None, *,
+                   timeout: float = 60.0) -> List[Answer]:
+        """Submit a burst and wait for all answers, in input order."""
+        futures = self.submit_many(pairs, mode)
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Updates and hot swaps
+    # ------------------------------------------------------------------
+
+    def refresh(self, force: bool = False) -> Optional[Snapshot]:
+        """Publish the source's current state if its version moved.
+
+        Returns the new snapshot (``None`` when nothing changed and
+        ``force`` is off). Workers pick the new epoch up lazily with
+        their next batch; in-flight batches finish on the epoch they
+        were dispatched with.
+        """
+        self._check_open()
+        with self._update_lock:
+            if force:
+                return self._snapshots.publish()
+            return self._snapshots.publish_if_changed()
+
+    def apply_updates(self, operations, *,
+                      refresh: bool = True) -> Dict[str, int]:
+        """Apply ``(kind, u, v)`` mutations to the source and republish.
+
+        The source must be mutable (``insert_edge``/``remove_edge``,
+        i.e. a :class:`~repro.dynamic.DynamicIndex`); updates are
+        serialized against snapshot publishes, so a publish can never
+        observe a half-applied batch.
+        """
+        self._check_open()
+        source = self._source
+        if not hasattr(source, "apply_batch"):
+            raise ImmutableIndexError(
+                f"the served {source.method!r} index is immutable; "
+                f"serve a 'dynamic' index to accept updates"
+            )
+        with self._update_lock:
+            outcome = source.apply_batch(operations)
+        if refresh:
+            snapshot = self.refresh()
+            outcome["epoch"] = (snapshot.handle.epoch
+                                if snapshot is not None
+                                else self.epoch)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def source(self) -> PathIndex:
+        return self._source
+
+    @property
+    def options(self) -> QueryOptions:
+        return self._options
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the snapshot new batches are served from."""
+        return self._snapshots.current.handle.epoch
+
+    @property
+    def num_workers(self) -> int:
+        return self._pool.num_workers if self._pool else 0
+
+    def graph_at(self, epoch: int):
+        """The graph served at ``epoch`` (for exactness audits)."""
+        return self._snapshots.graph_at(epoch)
+
+    def stats(self) -> Dict[str, object]:
+        """Batcher counters plus pool and snapshot gauges."""
+        self._check_open()
+        current = self._snapshots.current
+        return {
+            **self._batcher.stats(),
+            "num_workers": self._pool.num_workers,
+            "alive_workers": self._pool.alive_workers,
+            "epoch": current.handle.epoch,
+            "index_version": current.handle.version,
+            "method": current.handle.method,
+            "store": current.handle.kind,
+            "published_epochs": len(self._snapshots.epochs),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServingError("query service is closed")
+
+    @staticmethod
+    def _check_mode(mode: Optional[str]) -> None:
+        if mode is not None and mode not in QUERY_MODES:
+            raise QueryError(
+                f"unknown query mode {mode!r}; "
+                f"expected one of {QUERY_MODES}"
+            )
+
+    def close(self) -> None:
+        """Drain, stop the workers, release snapshot storage."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.close()
+        if self._pool is not None:
+            self._pool.close()
+        self._snapshots.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -7,7 +7,12 @@ from .datasets import (
     load_dataset,
     small_dataset_names,
 )
-from .queries import default_num_pairs, sample_pairs
+from .queries import (
+    default_num_pairs,
+    sample_pairs,
+    sample_pairs_hotspot,
+    sample_pairs_zipf,
+)
 from .updates import (
     UpdateOp,
     generate_update_stream,
@@ -22,6 +27,8 @@ __all__ = [
     "dataset_names",
     "small_dataset_names",
     "sample_pairs",
+    "sample_pairs_zipf",
+    "sample_pairs_hotspot",
     "default_num_pairs",
     "UpdateOp",
     "generate_update_stream",

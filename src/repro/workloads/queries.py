@@ -4,17 +4,34 @@ The paper evaluates query time on 10,000 uniformly sampled vertex
 pairs per dataset (§6.1, Figure 7). We reproduce the methodology at a
 scale proportional to our stand-in sizes; sampling is seeded so every
 bench and test sees identical workloads.
+
+Beyond the paper's uniform pairs, the serving benchmarks need traffic
+that looks like production read loads, which are never uniform:
+
+* :func:`sample_pairs_zipf` draws each endpoint from a Zipfian
+  popularity distribution over a seeded random permutation of the
+  vertices — a few "celebrity" vertices dominate, with a long tail;
+* :func:`sample_pairs_hotspot` models hot-key traffic: a small pool of
+  hot pairs receives a fixed fraction of all requests, the rest are
+  uniform background — the regime where the serving batcher's
+  deduplication and the version-keyed result cache pay off.
+
+Both are seeded and return plain ``(u, v)`` lists, interchangeable
+with :func:`sample_pairs` everywhere a workload is consumed.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from .._util import check_random_state
 from ..errors import ReproError
 from ..graph.csr import Graph
 
-__all__ = ["sample_pairs", "default_num_pairs"]
+__all__ = ["sample_pairs", "sample_pairs_zipf", "sample_pairs_hotspot",
+           "default_num_pairs"]
 
 
 def default_num_pairs(graph: Graph) -> int:
@@ -44,3 +61,67 @@ def sample_pairs(graph: Graph, count: int, seed=0,
             if len(pairs) == count:
                 break
     return pairs
+
+
+def sample_pairs_zipf(graph: Graph, count: int, seed=0, *,
+                      exponent: float = 1.1,
+                      distinct_endpoints: bool = True
+                      ) -> List[Tuple[int, int]]:
+    """Sample pairs whose endpoints follow a Zipfian popularity law.
+
+    Vertex popularity ranks are a seeded random permutation of the
+    vertex ids (so the hot vertices are not just the low ids), and the
+    vertex of popularity rank ``k`` (1-based) is drawn with probability
+    proportional to ``k ** -exponent``. Endpoints are drawn
+    independently; ``distinct_endpoints`` rejects ``u == v`` draws.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise ReproError("need at least two vertices to sample pairs")
+    if count < 0:
+        raise ReproError("count must be >= 0")
+    if exponent <= 0:
+        raise ReproError("zipf exponent must be positive")
+    rng = check_random_state(seed)
+    by_popularity = rng.permutation(n)
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -exponent
+    cumulative = np.cumsum(weights)
+    cumulative /= cumulative[-1]
+    pairs: List[Tuple[int, int]] = []
+    while len(pairs) < count:
+        draws = np.searchsorted(cumulative,
+                                rng.random(size=(count, 2)))
+        for u_rank, v_rank in draws:
+            u, v = int(by_popularity[u_rank]), int(by_popularity[v_rank])
+            if distinct_endpoints and u == v:
+                continue
+            pairs.append((u, v))
+            if len(pairs) == count:
+                break
+    return pairs
+
+
+def sample_pairs_hotspot(graph: Graph, count: int, seed=0, *,
+                         hot_fraction: float = 0.9,
+                         num_hot_pairs: int = 16
+                         ) -> List[Tuple[int, int]]:
+    """Sample hot-key traffic: a few pairs soak up most requests.
+
+    ``num_hot_pairs`` uniform pairs are drawn once as the hot set;
+    each request then hits a uniformly chosen hot pair with
+    probability ``hot_fraction`` and an independent uniform pair
+    otherwise. This is the workload shape where request deduplication
+    and result caching matter — repeated identical ``(u, v)`` keys
+    arrive close together in time.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ReproError("hot_fraction must be within [0, 1]")
+    if num_hot_pairs < 1:
+        raise ReproError("num_hot_pairs must be >= 1")
+    rng = check_random_state(seed)
+    hot = sample_pairs(graph, num_hot_pairs, seed=rng)
+    cold = sample_pairs(graph, count, seed=rng)
+    slots = rng.integers(0, num_hot_pairs, size=count)
+    is_hot = rng.random(size=count) < hot_fraction
+    return [hot[int(slot)] if use_hot else cold[i]
+            for i, (use_hot, slot) in enumerate(zip(is_hot, slots))]

@@ -369,6 +369,74 @@ class TestQuerySession:
         assert report.results == []
         assert report.mean_query_ms() == 0.0
 
+    def test_per_query_mode_override(self, index):
+        session = QuerySession(index, QueryOptions(mode="distance"))
+        record = session.query(0, 4, mode="count-paths")
+        assert record.mode == "count-paths"
+        assert record.value == spg_oracle(index.graph, 0, 4) \
+            .count_paths()
+        assert session.query(0, 4).mode == "distance"
+        with pytest.raises(QueryError, match="unknown query mode"):
+            session.query(0, 4, mode="teleport")
+
+    def test_aggregate_stats_hit_rate_and_mode_counts(self, index):
+        session = QuerySession(index, QueryOptions(mode="distance",
+                                                   cache_size=8))
+        report = BatchReport(mode="distance")
+        for u, v, mode in [(0, 2, None), (0, 2, None),
+                           (0, 4, "count-paths"), (0, 2, "distance")]:
+            report.records.append(session.query(u, v, mode=mode))
+        aggregate = report.aggregate_stats()
+        assert aggregate["mode_counts"] == {"distance": 3,
+                                            "count-paths": 1}
+        assert aggregate["cache_hits"] == 2
+        assert aggregate["cache_hit_rate"] == pytest.approx(0.5)
+        # Session-lifetime counters agree with the batch.
+        assert session.cache_hits_total == 2
+        assert session.cache_misses_total == 2
+        assert session.cache_hit_rate == pytest.approx(0.5)
+
+    def test_empty_report_hit_rate_is_zero(self, index):
+        aggregate = QuerySession(index).run([]).aggregate_stats()
+        assert aggregate["cache_hit_rate"] == 0.0
+        assert aggregate["mode_counts"] == {}
+
+    def test_cache_is_thread_safe(self, index):
+        """Satellite: hammer one cached session from many threads.
+
+        Correctness bar: no lost updates, no exceptions, every thread
+        sees the exact answers; the cache never exceeds its capacity.
+        """
+        import threading
+
+        session = QuerySession(index, QueryOptions(mode="distance",
+                                                   cache_size=4))
+        graph = index.graph
+        pairs = [(u, v) for u in range(graph.num_vertices)
+                 for v in range(u + 1, graph.num_vertices)]
+        expected = {pair: index.distance(*pair) for pair in pairs}
+        failures = []
+
+        def hammer(offset: int) -> None:
+            for repeat in range(40):
+                u, v = pairs[(offset + repeat) % len(pairs)]
+                record = session.query(u, v)
+                if record.value != expected[(u, v)]:
+                    failures.append((u, v, record.value))
+                if repeat % 5 == 0:
+                    session.clear_cache()
+
+        threads = [threading.Thread(target=hammer, args=(k,))
+                   for k in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert session.cache_len <= 4
+        assert session.cache_hits_total + session.cache_misses_total \
+            == 8 * 40
+
     def test_session_works_for_every_family(self):
         graph = Graph.from_edges([(0, 1), (1, 2), (0, 3), (3, 2)])
         for method in sorted(UNDIRECTED_METHODS):

@@ -258,3 +258,44 @@ class TestCliUpdate:
                      "--landmarks", "5", "10"])
         assert code == 0
         assert "douban" in capsys.readouterr().out
+
+
+@pytest.mark.timeout(120)
+class TestCliServe:
+    def test_smoke_over_saved_index(self, tmp_path, capsys):
+        from repro import build_index
+        from repro.graph import barabasi_albert
+
+        path = tmp_path / "ppl.idx"
+        build_index(barabasi_albert(150, 2, seed=3), "ppl").save(path)
+        code = main(["serve", "--index", str(path), "--workers", "2",
+                     "--smoke", "120", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        assert "answered (0 errors)" in out
+        assert "p99" in out
+        assert "batches:" in out
+
+    def test_smoke_builds_dataset_with_dynamic_promotion(self, capsys):
+        code = main(["serve", "--dataset", "douban", "--workers", "1",
+                     "--dynamic", "--smoke", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "promoted to a dynamic index" in out
+        assert "serving 'dynamic' index" in out
+
+    def test_smoke_zero_rejected(self, tmp_path, capsys):
+        from repro import build_index
+        from repro.graph import cycle_graph
+
+        path = tmp_path / "bibfs.idx"
+        build_index(cycle_graph(12), "bibfs").save(path)
+        assert main(["serve", "--index", str(path), "--workers", "1",
+                     "--smoke", "0"]) == 2
+        assert "positive request count" in capsys.readouterr().err
+
+    def test_directed_dataset_serve_rejected(self, capsys):
+        assert main(["serve", "--dataset", "douban",
+                     "--method", "qbs-directed", "--smoke", "5"]) == 2
+        assert "directed" in capsys.readouterr().err

@@ -10,6 +10,8 @@ from repro.workloads import (
     default_num_pairs,
     load_dataset,
     sample_pairs,
+    sample_pairs_hotspot,
+    sample_pairs_zipf,
     small_dataset_names,
 )
 
@@ -112,3 +114,65 @@ class TestSamplePairs:
     def test_default_num_pairs_bounds(self, graph):
         count = default_num_pairs(graph)
         assert 200 <= count <= 2000
+
+
+class TestSkewedSamplers:
+    """Zipfian and hotspot pair samplers (serving traffic models)."""
+
+    @pytest.fixture
+    def graph(self):
+        return load_dataset("douban")
+
+    def test_zipf_seeded_and_in_range(self, graph):
+        pairs = sample_pairs_zipf(graph, 300, seed=11)
+        assert pairs == sample_pairs_zipf(graph, 300, seed=11)
+        assert pairs != sample_pairs_zipf(graph, 300, seed=12)
+        n = graph.num_vertices
+        assert len(pairs) == 300
+        assert all(0 <= u < n and 0 <= v < n and u != v
+                   for u, v in pairs)
+
+    def test_zipf_is_skewed(self, graph):
+        """The head of the popularity law dominates endpoint draws."""
+        from collections import Counter
+
+        pairs = sample_pairs_zipf(graph, 2000, seed=13, exponent=1.2)
+        counts = Counter(u for u, _ in pairs) \
+            + Counter(v for _, v in pairs)
+        top_share = sum(c for _, c in counts.most_common(10)) \
+            / (2 * len(pairs))
+        uniform_share = 10 / graph.num_vertices
+        assert top_share > 10 * uniform_share
+
+    def test_zipf_rejects_bad_exponent(self, graph):
+        with pytest.raises(ReproError, match="exponent"):
+            sample_pairs_zipf(graph, 10, exponent=0.0)
+
+    def test_hotspot_seeded_and_skewed(self, graph):
+        from collections import Counter
+
+        pairs = sample_pairs_hotspot(graph, 500, seed=17,
+                                     hot_fraction=0.8,
+                                     num_hot_pairs=8)
+        assert pairs == sample_pairs_hotspot(graph, 500, seed=17,
+                                             hot_fraction=0.8,
+                                             num_hot_pairs=8)
+        counts = Counter(pairs)
+        hot_requests = sum(c for _, c in counts.most_common(8))
+        assert hot_requests >= int(0.7 * len(pairs))
+        assert len(counts) > 8  # the uniform background is present
+
+    def test_hotspot_extremes(self, graph):
+        all_hot = sample_pairs_hotspot(graph, 100, seed=19,
+                                       hot_fraction=1.0,
+                                       num_hot_pairs=4)
+        assert len(set(all_hot)) <= 4
+        all_cold = sample_pairs_hotspot(graph, 100, seed=19,
+                                        hot_fraction=0.0)
+        assert len(set(all_cold)) > 50
+
+    def test_hotspot_rejects_bad_params(self, graph):
+        with pytest.raises(ReproError, match="hot_fraction"):
+            sample_pairs_hotspot(graph, 10, hot_fraction=1.5)
+        with pytest.raises(ReproError, match="num_hot_pairs"):
+            sample_pairs_hotspot(graph, 10, num_hot_pairs=0)
