@@ -24,8 +24,9 @@ against — plugs into one engine surface:
   method=..., **params)`` is the single construction entry point,
   ``available_methods()`` enumerates what is registered (``"qbs"``,
   ``"ppl"``, ``"parent-ppl"``, ``"naive"``, ``"bibfs"``,
-  ``"qbs-directed"``, ``"dynamic"``), and ``@register_index("name")``
-  drops a new backend in with zero call-site edits.
+  ``"qbs-directed"``, ``"dynamic"``, ``"sharded"``), and
+  ``@register_index("name")`` drops a new backend in with zero
+  call-site edits.
 * **PathIndex contract** — every built index answers ``distance(u,
   v)``, ``query(u, v)`` (the exact shortest path graph),
   ``query_many(pairs)``, and exposes ``stats`` and ``size_bytes``
@@ -82,6 +83,9 @@ from .graph import Graph, GraphBuilder, build_graph
 # Importing the dynamic package registers the "dynamic" engine family.
 from .dynamic import DeltaGraph, DynamicIndex
 
+# Importing the shard package registers the "sharded" engine family.
+from .shard import ShardedIndex
+
 __version__ = "1.3.0"
 
 __all__ = [
@@ -103,6 +107,7 @@ __all__ = [
     "PathIndex",
     "DeltaGraph",
     "DynamicIndex",
+    "ShardedIndex",
     "build_index",
     "available_methods",
     "register_index",

@@ -42,7 +42,22 @@ Three kinds of commands:
       python -m repro serve --index douban.idx --dynamic --smoke 2000
 
   ``--dynamic`` promotes the index so ``POST /update`` can mutate the
-  graph behind hot-swapped snapshots.
+  graph behind hot-swapped snapshots. SIGINT/SIGTERM shut the server
+  down gracefully: the batcher drains and the worker pool is joined
+  (or terminated), so no orphaned worker processes survive Ctrl-C.
+
+* **partition** — partition a stand-in and print the quality report
+  (edge cut, balance, boundary fraction), optionally saving the
+  partition map for a later sharded build::
+
+      python -m repro partition --dataset douban --shards 4
+      python -m repro partition --dataset douban --shards 8 \\
+          --method hash --out douban.part.npz
+
+  Sharded indexes build through the ordinary ``build`` command::
+
+      python -m repro build --method sharded --shards 4 \\
+          --dataset douban --out douban.idx --param inner=ppl
 """
 
 from __future__ import annotations
@@ -53,6 +68,7 @@ import sys
 from typing import List, Optional, Set
 
 from . import harness
+from .shard import PARTITION_METHODS
 from .engine import (
     QueryOptions,
     QuerySession,
@@ -120,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="KEY=VALUE",
                            help="build parameter, e.g. num_landmarks=20 "
                                 "(JSON values; repeatable)")
+    build_cmd.add_argument("--shards", type=int, default=None,
+                           metavar="N",
+                           help="shard count for --method sharded "
+                                "(shorthand for --param num_shards=N)")
+    build_cmd.add_argument("--partition-file", default=None,
+                           help="partition map from the partition "
+                                "command (sharded method only)")
 
     query_cmd = commands.add_parser(
         "query", help="load a saved index and answer a query batch")
@@ -211,6 +234,21 @@ def build_parser() -> argparse.ArgumentParser:
                                 "latency report, exit")
     serve_cmd.add_argument("--seed", type=int, default=0,
                            help="seed for the --smoke workload")
+
+    partition_cmd = commands.add_parser(
+        "partition", help="partition a stand-in and report quality")
+    partition_cmd.add_argument("--dataset", required=True,
+                               help="stand-in dataset to partition")
+    partition_cmd.add_argument("--shards", type=int, default=4,
+                               help="number of shards (default: 4)")
+    partition_cmd.add_argument("--method", default="bfs",
+                               choices=PARTITION_METHODS,
+                               help="partitioning method")
+    partition_cmd.add_argument("--seed", type=int, default=0,
+                               help="seed for BFS-growth tie-breaking")
+    partition_cmd.add_argument("--out", default=None,
+                               help="save the partition map (npz) for "
+                                    "build --partition-file")
     return parser
 
 
@@ -232,6 +270,8 @@ def _dispatch(args) -> int:
         return _run_update(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "partition":
+        return _run_partition(args)
     runner = _EXPERIMENTS[args.experiment]
     accepted = _accepts(runner)
     kwargs = {}
@@ -295,13 +335,29 @@ def _run_build(args) -> int:
     from .workloads import load_dataset
 
     graph = load_dataset(args.dataset)
-    if get_index_class(args.method).directed:
-        # The stand-ins are undirected; serve directed methods the
-        # symmetric orientation (every edge becomes two arcs).
-        graph = DiGraph(graph.indptr, graph.indices,
-                        graph.indptr, graph.indices)
-    index = build_index(graph, args.method,
-                        **_parse_params(args.param))
+    params = _parse_params(args.param)
+    sharded = args.method == "sharded"
+    if args.shards is not None and args.partition_file is not None:
+        raise ReproError("give --shards or --partition-file, not both")
+    if args.shards is not None:
+        if not sharded:
+            raise ReproError("--shards only applies to --method sharded")
+        params["num_shards"] = args.shards
+    if args.partition_file is not None:
+        if not sharded:
+            raise ReproError(
+                "--partition-file only applies to --method sharded")
+        from .shard import ShardedIndex, load_partition
+
+        index = ShardedIndex.from_partition(
+            graph, load_partition(args.partition_file), **params)
+    else:
+        if get_index_class(args.method).directed:
+            # The stand-ins are undirected; serve directed methods the
+            # symmetric orientation (every edge becomes two arcs).
+            graph = DiGraph(graph.indptr, graph.indices,
+                            graph.indptr, graph.indices)
+        index = build_index(graph, args.method, **params)
     index.save(args.out)
     rows = [{"key": key, "value": value}
             for key, value in index.stats.items()]
@@ -444,16 +500,76 @@ def _run_serve(args) -> int:
         server = make_server(service, host=args.host, port=args.port,
                              verbose=True)
         host, port = server.server_address[:2]
-        print(f"listening on http://{host}:{port} "
-              f"(POST /query, POST /update, GET /stats, GET /healthz; "
-              f"Ctrl-C to stop)")
+        # The readiness line prints inside, *after* the signal
+        # handlers are installed — a supervisor that signals the
+        # moment it sees "listening" must hit the graceful path.
+        _serve_until_signalled(
+            server,
+            f"listening on http://{host}:{port} "
+            f"(POST /query, POST /update, GET /stats, GET /healthz; "
+            f"Ctrl-C to stop)")
+        print("draining batcher and stopping workers")
+        # Falling out of the ``with`` closes the service: the batcher
+        # drains its in-flight batches and the worker pool is joined
+        # (terminated if a worker hangs) — no orphaned processes.
+    return 0
+
+
+def _serve_until_signalled(server, ready_message: str) -> None:
+    """Run the HTTP loop until SIGINT/SIGTERM, then stop it cleanly.
+
+    A bare SIGTERM would kill the process without running any cleanup,
+    leaving the pool's worker processes orphaned mid-batch; a SIGINT
+    raises KeyboardInterrupt at an arbitrary point in the serving
+    loop. Both are mapped to an orderly ``server.shutdown()`` instead.
+    The call must come from another thread: the handler runs on the
+    main thread, which is inside ``serve_forever`` — shutting down
+    in-line would deadlock waiting for its own loop to exit.
+    """
+    import signal
+    import threading
+
+    def _graceful(signum, frame):
+        print(f"\nreceived {signal.Signals(signum).name}, "
+              f"shutting down", flush=True)
+        threading.Thread(target=server.shutdown, daemon=True,
+                         name="repro-serving-shutdown").start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
         try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            print("\nshutting down")
-        finally:
-            server.shutdown()
-            server.server_close()
+            previous[signum] = signal.signal(signum, _graceful)
+        except (ValueError, OSError):  # pragma: no cover - non-main
+            pass
+    print(ready_message, flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        server.server_close()
+
+
+def _run_partition(args) -> int:
+    from .shard import partition_graph, save_partition
+    from .workloads import load_dataset
+
+    if args.shards < 1:
+        raise ReproError("--shards must be >= 1")
+    graph = load_dataset(args.dataset)
+    partition = partition_graph(graph, args.shards,
+                                method=args.method, seed=args.seed)
+    report = partition.quality_report(graph)
+    rows = [{"key": key, "value": value}
+            for key, value in report.items()]
+    print(harness.format_rows(rows, columns=("key", "value")))
+    if args.out is not None:
+        save_partition(partition, args.out)
+        print(f"saved {partition.num_shards}-shard partition map for "
+              f"{args.dataset!r} to {args.out}")
     return 0
 
 

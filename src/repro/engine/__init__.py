@@ -11,8 +11,9 @@ baseline it is benchmarked against plug into the same three pieces:
 * the **registry** — :func:`register_index`, :func:`build_index`,
   :func:`available_methods`; families are string-keyed (``"qbs"``,
   ``"ppl"``, ``"parent-ppl"``, ``"naive"``, ``"bibfs"``,
-  ``"qbs-directed"``, plus ``"dynamic"`` from :mod:`repro.dynamic`)
-  and new backends are a one-decorator drop-in;
+  ``"qbs-directed"``, plus ``"dynamic"`` from :mod:`repro.dynamic`
+  and ``"sharded"`` from :mod:`repro.shard`) and new backends are a
+  one-decorator drop-in;
 * :class:`QuerySession` / :class:`QueryOptions` — batched query
   execution with modes (distance | spg | count-paths), wall-clock
   budgets, per-query :class:`~repro.core.search.SearchStats`

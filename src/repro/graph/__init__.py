@@ -16,18 +16,26 @@ from .generators import (
     stochastic_block,
     watts_strogatz,
 )
-from .io import load_npz, read_edge_list, save_npz, write_edge_list
+from .io import (
+    load_npz,
+    read_edge_list,
+    read_snap_edge_list,
+    save_npz,
+    write_edge_list,
+)
 from .ops import (
     average_distance_estimate,
     degree_statistics,
     density,
     diameter_estimate,
+    induced_subgraph,
     is_connected,
     top_degree_vertices,
 )
 from .traversal import (
     bfs_distances,
     bfs_distances_bounded,
+    bfs_distances_offsets,
     connected_components,
     expand_frontier,
     multi_source_bfs,
@@ -38,6 +46,7 @@ __all__ = [
     "GraphBuilder",
     "build_graph",
     "read_edge_list",
+    "read_snap_edge_list",
     "write_edge_list",
     "save_npz",
     "load_npz",
@@ -55,12 +64,14 @@ __all__ = [
     "largest_connected_component",
     "bfs_distances",
     "bfs_distances_bounded",
+    "bfs_distances_offsets",
     "multi_source_bfs",
     "expand_frontier",
     "connected_components",
     "degree_statistics",
     "top_degree_vertices",
     "average_distance_estimate",
+    "induced_subgraph",
     "is_connected",
     "diameter_estimate",
     "density",

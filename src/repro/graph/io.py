@@ -5,13 +5,20 @@ Two formats are supported:
 * **Edge-list text** — the format SNAP / KONECT datasets ship in: one
   edge per line, whitespace separated, ``#`` or ``%`` comment lines
   ignored. Directed inputs are symmetrized on load, matching the
-  paper's treatment (Table 1's ``|E_un|``).
+  paper's treatment (Table 1's ``|E_un|``). Paths ending in ``.gz``
+  are transparently gzip-compressed on both read and write — SNAP
+  distributes its large networks exactly this way (``*.txt.gz``).
+  For raw downloads with arbitrary, non-contiguous vertex ids,
+  :func:`read_snap_edge_list` compacts the ids to ``0..n-1`` and
+  returns the original-id mapping; duplicate edges (including both
+  orientations) collapse to one.
 * **NPZ binary** — compressed numpy container with the CSR arrays;
   loads in milliseconds and round-trips exactly.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 import os
 from typing import Iterator, Tuple, Union
@@ -24,6 +31,7 @@ from .csr import Graph
 
 __all__ = [
     "read_edge_list",
+    "read_snap_edge_list",
     "write_edge_list",
     "save_npz",
     "load_npz",
@@ -33,6 +41,13 @@ __all__ = [
 PathLike = Union[str, "os.PathLike[str]"]
 
 _COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _open_text(path: PathLike, mode: str):
+    """Open a text file, transparently gzip-decoding ``*.gz`` paths."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 def parse_edge_lines(lines) -> Iterator[Tuple[int, int]]:
@@ -60,9 +75,15 @@ def parse_edge_lines(lines) -> Iterator[Tuple[int, int]]:
 
 
 def read_edge_list(path_or_file, num_vertices=None) -> Graph:
-    """Load an edge-list file (path, file object, or text) as a graph."""
+    """Load an edge-list file (path, file object, or text) as a graph.
+
+    Paths ending in ``.gz`` are decompressed on the fly. Vertex ids
+    are taken literally (``num_vertices`` defaults to ``max id + 1``);
+    use :func:`read_snap_edge_list` for raw downloads whose ids are
+    sparse or non-contiguous.
+    """
     if isinstance(path_or_file, (str, os.PathLike)):
-        with open(path_or_file, "r", encoding="utf-8") as handle:
+        with _open_text(path_or_file, "r") as handle:
             edges = list(parse_edge_lines(handle))
     elif isinstance(path_or_file, io.TextIOBase):
         edges = list(parse_edge_lines(path_or_file))
@@ -73,10 +94,49 @@ def read_edge_list(path_or_file, num_vertices=None) -> Graph:
     return build_graph(edges, num_vertices=num_vertices)
 
 
+def read_snap_edge_list(path_or_file) -> Tuple[Graph, np.ndarray]:
+    """Load a SNAP-style edge list, compacting arbitrary vertex ids.
+
+    SNAP downloads use the original dataset ids — non-contiguous,
+    often enormous (a 4M-vertex graph can mention id 4294967295).
+    Loading those literally would allocate ``max id + 1`` CSR rows, so
+    this reader relabels: ids are mapped to ``0..n-1`` in ascending
+    original-id order. Duplicate edges — including the same edge in
+    both orientations, common in symmetrized dumps — collapse to one,
+    and self loops are dropped (both via the standard builder).
+
+    Returns ``(graph, original_ids)`` where ``original_ids[local]``
+    is the id the input used (sorted ascending, so
+    ``np.searchsorted(original_ids, raw_id)`` inverts the mapping).
+    """
+    if isinstance(path_or_file, (str, os.PathLike)):
+        with _open_text(path_or_file, "r") as handle:
+            edges = list(parse_edge_lines(handle))
+    elif isinstance(path_or_file, io.TextIOBase):
+        edges = list(parse_edge_lines(path_or_file))
+    else:
+        raise GraphFormatError(
+            "read_snap_edge_list expects a path or a text file object"
+        )
+    if not edges:
+        return Graph.empty(0), np.zeros(0, dtype=np.int64)
+    array = np.asarray(edges, dtype=np.int64)
+    if array.min() < 0:
+        raise GraphFormatError("vertex ids must be non-negative")
+    original_ids, compact = np.unique(array, return_inverse=True)
+    compact = compact.reshape(array.shape)
+    graph = build_graph(compact, num_vertices=len(original_ids))
+    return graph, original_ids
+
+
 def write_edge_list(graph: Graph, path: PathLike, *,
                     header: bool = True) -> None:
-    """Write the graph as ``u v`` lines (one per undirected edge)."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write the graph as ``u v`` lines (one per undirected edge).
+
+    Paths ending in ``.gz`` are gzip-compressed, matching what
+    :func:`read_edge_list` accepts.
+    """
+    with _open_text(path, "w") as handle:
         if header:
             handle.write(
                 f"# undirected graph: {graph.num_vertices} vertices, "

@@ -18,11 +18,48 @@ __all__ = [
     "degree_statistics",
     "top_degree_vertices",
     "average_distance_estimate",
+    "induced_subgraph",
     "is_connected",
     "diameter_estimate",
     "density",
     "triangle_count_estimate",
 ]
+
+
+def induced_subgraph(graph: Graph, vertices):
+    """Compacted subgraph induced on ``vertices``.
+
+    Unlike :meth:`Graph.remove_vertices` (which keeps ids aligned with
+    the original graph), the result is relabelled to local ids
+    ``0..k-1`` in ascending original-id order — the form a shard wants,
+    where per-shard memory must scale with the shard, not the graph.
+
+    Returns ``(subgraph, global_ids)`` where ``global_ids[local] ==
+    original id`` (sorted, so ``np.searchsorted`` inverts it).
+    Duplicate input vertices are collapsed; out-of-range ids raise
+    :class:`~repro.errors.VertexError`.
+    """
+    from ..errors import VertexError
+
+    n = graph.num_vertices
+    global_ids = np.unique(np.asarray(list(vertices), dtype=np.int64))
+    if len(global_ids) and (global_ids[0] < 0 or global_ids[-1] >= n):
+        bad = global_ids[0] if global_ids[0] < 0 else global_ids[-1]
+        raise VertexError(int(bad), n)
+    k = len(global_ids)
+    local = np.full(n, -1, dtype=np.int32)
+    local[global_ids] = np.arange(k, dtype=np.int32)
+    src = np.repeat(np.arange(n, dtype=np.int32),
+                    np.diff(graph.indptr))
+    keep = (local[src] >= 0) & (local[graph.indices] >= 0)
+    sub_src = local[src[keep]]
+    sub_dst = local[graph.indices[keep]]
+    counts = np.bincount(sub_src, minlength=k)
+    indptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    # Rows stay sorted: the relabelling is monotone in original id.
+    sub = Graph(indptr, sub_dst.astype(np.int32), validate=False)
+    return sub, global_ids.astype(np.int32)
 
 
 def degree_statistics(graph: Graph) -> dict:

@@ -21,6 +21,7 @@ __all__ = [
     "expand_frontier",
     "bfs_distances",
     "bfs_distances_bounded",
+    "bfs_distances_offsets",
     "multi_source_bfs",
     "eccentricity",
     "connected_components",
@@ -94,6 +95,76 @@ def bfs_distances_bounded(graph: Graph, source: int,
             break
         dist[fresh] = depth  # duplicate writes of the same value are fine
         frontier = np.unique(fresh)
+    return dist
+
+
+def bfs_distances_offsets(graph: Graph, sources, offsets,
+                          out: Optional[np.ndarray] = None) -> np.ndarray:
+    """BFS distances from sources that start at integer depth offsets.
+
+    ``dist[x] = min_i (offsets[i] + d(sources[i], x))`` — the unit-edge
+    special case of Dijkstra with non-uniform source potentials,
+    processed Dial-style (one bucket per depth, so the cost stays one
+    ordinary BFS plus the offset range, never a heap). The sharded
+    query assembly uses this to turn "distance from every boundary
+    vertex" overlays into exact per-shard distance fields with a
+    single sweep instead of one BFS per boundary vertex.
+
+    ``offsets`` must be non-negative; a source may be rediscovered
+    cheaper through another source, in which case its own offset is
+    ignored. Returns ``UNREACHED`` where no source reaches.
+    """
+    n = graph.num_vertices
+    source_array = np.asarray(list(sources), dtype=np.int64)
+    offset_array = np.asarray(list(offsets), dtype=np.int64)
+    if source_array.shape != offset_array.shape or source_array.ndim != 1:
+        raise ValueError("sources and offsets must be equal-length 1-D")
+    if len(offset_array) and offset_array.min() < 0:
+        raise ValueError("offsets must be non-negative")
+    if len(source_array) and (source_array.min() < 0
+                              or source_array.max() >= n):
+        graph._check_vertex(int(source_array.max())
+                            if source_array.max() >= n
+                            else int(source_array.min()))
+    if out is None:
+        dist = np.full(n, UNREACHED, dtype=np.int32)
+    else:
+        dist = out
+        dist.fill(UNREACHED)
+    if len(source_array) == 0:
+        return dist
+    order = np.argsort(offset_array, kind="stable")
+    source_array = source_array[order]
+    offset_array = offset_array[order]
+    cursor = 0
+    depth = int(offset_array[0])
+    frontier = np.empty(0, dtype=np.int32)
+    indptr, indices = graph.indptr, graph.indices
+    while True:
+        # Admit sources whose offset equals the current depth, unless
+        # some earlier source already reached them at least as cheaply.
+        while cursor < len(source_array) \
+                and offset_array[cursor] == depth:
+            s = int(source_array[cursor])
+            cursor += 1
+            if dist[s] == UNREACHED:
+                dist[s] = depth
+                frontier = np.append(frontier,
+                                     np.int32(s))
+        if len(frontier) == 0:
+            if cursor >= len(source_array):
+                break
+            depth = int(offset_array[cursor])
+            continue
+        neighbors = expand_frontier(indptr, indices,
+                                    frontier.astype(np.int32))
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        depth += 1
+        if len(fresh):
+            dist[fresh] = depth
+            frontier = np.unique(fresh)
+        else:
+            frontier = np.empty(0, dtype=np.int32)
     return dist
 
 

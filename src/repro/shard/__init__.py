@@ -1,0 +1,66 @@
+"""Sharded indexing: partition, build per shard, assemble answers.
+
+The scale-out vertical over the PathIndex engine — the ROADMAP's
+"bigger than one worker's memory" axis. Four pieces:
+
+* :func:`~repro.shard.partition.partition_graph` /
+  :class:`~repro.shard.partition.Partition` — vertex partitions of a
+  CSR graph (seeded BFS growth + label-propagation refinement, or a
+  degree-ordered hash fallback) with explicit boundary sets and a
+  partition-quality report (edge cut, balance, boundary fraction);
+* :class:`~repro.shard.overlay.BoundaryOverlay` — a small *exact*
+  index over the boundary-vertex quotient graph: full-graph distances
+  between all boundary pairs, the glue that makes cross-shard answers
+  exact rather than approximate;
+* :class:`~repro.shard.builder.ParallelBuilder` — per-shard inner
+  index construction fanned out over a ``multiprocessing`` pool
+  (labelling is GIL-bound, exactly like query serving), reporting
+  per-shard build time and ``size_bytes``;
+* :class:`~repro.shard.index.ShardedIndex` — engine family
+  ``"sharded"``: one inner index of any registered undirected family
+  per shard, oracle-exact ``distance``/``query``/``query_many`` via
+  boundary-relay assembly, full npz persistence and serving-snapshot
+  compatibility.
+
+Quickstart::
+
+    from repro import build_index
+    from repro.shard import partition_graph
+
+    partition_graph(graph, 4).quality_report(graph)   # shardable?
+    index = build_index(graph, "sharded", num_shards=4,
+                        inner="ppl", workers=4)
+    index.query(u, v)          # exact SPG, assembled across shards
+    index.save("g.sharded.idx")     # one archive, shards inside
+
+or from the command line::
+
+    python -m repro partition --dataset douban --shards 4
+    python -m repro build --method sharded --shards 4 \\
+        --dataset douban --out douban.idx
+"""
+
+from .builder import ParallelBuilder, ShardBuildOutcome
+from .index import ShardedIndex
+from .overlay import BoundaryOverlay, boundary_clique, build_overlay
+from .partition import (
+    PARTITION_METHODS,
+    Partition,
+    load_partition,
+    partition_graph,
+    save_partition,
+)
+
+__all__ = [
+    "ShardedIndex",
+    "Partition",
+    "partition_graph",
+    "save_partition",
+    "load_partition",
+    "PARTITION_METHODS",
+    "BoundaryOverlay",
+    "boundary_clique",
+    "build_overlay",
+    "ParallelBuilder",
+    "ShardBuildOutcome",
+]

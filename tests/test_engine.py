@@ -48,10 +48,11 @@ UNDIRECTED_METHODS = {
     "naive": {},
     "bibfs": {},
     "dynamic": {},
+    "sharded": {"num_shards": 2},
 }
 
 ALL_METHODS = ("bibfs", "dynamic", "naive", "parent-ppl", "ppl", "qbs",
-               "qbs-directed")
+               "qbs-directed", "sharded")
 
 
 def small_corpus(seed=900, count=6):

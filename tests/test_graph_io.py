@@ -95,3 +95,86 @@ class TestNpz:
         np.savez_compressed(path, data=np.arange(3))
         with pytest.raises(GraphFormatError):
             load_npz(path)
+
+
+class TestGzipEdgeLists:
+    """Satellite: gzip-compressed SNAP-style edge lists."""
+
+    def test_round_trip_gz(self, tmp_path):
+        g = erdos_renyi(50, 0.15, seed=7)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, path)
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline().startswith("#")
+        assert read_edge_list(path) == g
+
+    def test_reads_hand_written_snap_gz(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "snap.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# Directed graph: example\n"
+                         "# Nodes: 4 Edges: 5\n"
+                         "0\t1\n1\t0\n1\t2\n2\t3\n0\t1\n")
+        g = read_edge_list(path)
+        # Duplicates and both orientations collapse to one edge each.
+        assert g.num_edges == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and g.has_edge(2, 3)
+
+    def test_plain_text_still_works(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "plain.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+
+class TestSnapReader:
+    """Satellite: arbitrary non-contiguous ids via read_snap_edge_list."""
+
+    def test_compacts_sparse_ids(self, tmp_path):
+        from repro.graph import read_snap_edge_list
+
+        path = tmp_path / "sparse.txt"
+        path.write_text("# comment\n1000000 7\n7 42\n42 1000000\n")
+        g, ids = read_snap_edge_list(path)
+        assert g.num_vertices == 3
+        assert ids.tolist() == [7, 42, 1000000]
+        assert g.num_edges == 3
+
+    def test_gz_with_dedup_round_trip(self, tmp_path):
+        import gzip
+
+        import numpy as np
+
+        from repro.graph import read_snap_edge_list
+
+        path = tmp_path / "weird.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("# SNAP-style dump, shuffled sparse ids\n")
+            handle.write("900 30\n30 900\n900 30\n")
+            handle.write("30 512\n512 17\n17 17\n")  # self loop dropped
+        g, ids = read_snap_edge_list(path)
+        assert ids.tolist() == [17, 30, 512, 900]
+        assert g.num_edges == 3  # (30,900), (30,512), (512,17)
+        # Round trip: write compact, re-read, identical structure.
+        out = tmp_path / "round.txt.gz"
+        write_edge_list(g, out)
+        assert read_edge_list(out) == g
+        # The id mapping inverts via searchsorted.
+        assert int(np.searchsorted(ids, 512)) == 2
+
+    def test_empty_and_errors(self, tmp_path):
+        from repro.graph import read_snap_edge_list
+
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing but comments\n")
+        g, ids = read_snap_edge_list(path)
+        assert g.num_vertices == 0 and len(ids) == 0
+        bad = tmp_path / "neg.txt"
+        bad.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError, match="non-negative"):
+            read_snap_edge_list(bad)
+        with pytest.raises(GraphFormatError, match="expects a path"):
+            read_snap_edge_list(12345)

@@ -106,3 +106,51 @@ class TestTriangles:
 
     def test_no_triangles_in_grid(self):
         assert triangle_count_estimate(grid_2d(5, 5)) == 0
+
+
+class TestInducedSubgraph:
+    def test_compacts_ids_and_keeps_edges(self):
+        from repro.graph import induced_subgraph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        sub, ids = induced_subgraph(g, [1, 3, 2])
+        assert ids.tolist() == [1, 2, 3]
+        assert sub.num_vertices == 3
+        # Local ids 0,1,2 are global 1,2,3: edges (1,2),(2,3),(1,3).
+        assert sorted(sub.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_matches_networkx_subgraph(self):
+        import networkx as nx
+
+        from repro.graph import induced_subgraph
+        from repro.graph.generators import erdos_renyi
+
+        g = erdos_renyi(40, 0.15, seed=12)
+        vertices = list(range(0, 40, 3))
+        sub, ids = induced_subgraph(g, vertices)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(range(g.num_vertices))
+        nx_sub = nxg.subgraph(vertices)
+        assert sub.num_edges == nx_sub.number_of_edges()
+        local = {int(g_id): i for i, g_id in enumerate(ids)}
+        for u, v in nx_sub.edges():
+            assert sub.has_edge(local[u], local[v])
+
+    def test_duplicates_collapsed_and_empty_ok(self):
+        from repro.graph import induced_subgraph
+
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        sub, ids = induced_subgraph(g, [2, 2, 0])
+        assert ids.tolist() == [0, 2]
+        assert sub.num_edges == 0
+        empty, empty_ids = induced_subgraph(g, [])
+        assert empty.num_vertices == 0
+        assert len(empty_ids) == 0
+
+    def test_out_of_range_rejected(self):
+        from repro.errors import VertexError
+        from repro.graph import induced_subgraph
+
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(VertexError):
+            induced_subgraph(g, [0, 9])

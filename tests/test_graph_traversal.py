@@ -153,3 +153,74 @@ class TestEccentricity:
         g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
         assert eccentricity(g, 0) == 3
         assert eccentricity(g, 1) == 2
+
+
+class TestBfsDistancesOffsets:
+    """Offset-seeded BFS (the sharded query assembly kernel)."""
+
+    def test_zero_offsets_match_multi_source(self):
+        for label, graph in random_graph_corpus(seed=61, count=8):
+            if graph.num_vertices < 3:
+                continue
+            sources = [0, graph.num_vertices - 1]
+            from repro.graph import bfs_distances_offsets
+
+            got = bfs_distances_offsets(graph, sources, [0, 0])
+            expected = multi_source_bfs(graph, sources)
+            assert np.array_equal(got, expected), label
+
+    def test_matches_min_over_offset_plus_bfs(self):
+        from repro.graph import bfs_distances_offsets
+
+        rng = np.random.default_rng(7)
+        for label, graph in random_graph_corpus(seed=67, count=10):
+            n = graph.num_vertices
+            if n < 4:
+                continue
+            count = int(rng.integers(1, min(5, n)))
+            sources = rng.choice(n, size=count, replace=False)
+            offsets = rng.integers(0, 6, size=count)
+            got = bfs_distances_offsets(graph, sources, offsets)
+            stacked = np.full((count, n), np.inf)
+            for row, (s, off) in enumerate(zip(sources, offsets)):
+                dist = bfs_distances(graph, int(s)).astype(np.float64)
+                dist[dist == UNREACHED] = np.inf
+                stacked[row] = dist + off
+            expected = stacked.min(axis=0)
+            expected_int = np.where(np.isinf(expected), UNREACHED,
+                                    expected).astype(np.int64)
+            assert np.array_equal(got.astype(np.int64),
+                                  expected_int), label
+
+    def test_offset_gap_is_jumped(self):
+        from repro.graph import bfs_distances_offsets
+
+        # Two components: the second source only fires at depth 10.
+        g = Graph.from_edges([(0, 1), (2, 3)], num_vertices=4)
+        dist = bfs_distances_offsets(g, [0, 2], [0, 10])
+        assert dist.tolist() == [0, 1, 10, 11]
+
+    def test_cheaper_path_beats_source_offset(self):
+        from repro.graph import bfs_distances_offsets
+
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        dist = bfs_distances_offsets(g, [0, 2], [0, 50])
+        assert dist.tolist() == [0, 1, 2]
+
+    def test_no_sources(self):
+        from repro.graph import bfs_distances_offsets
+
+        g = Graph.from_edges([(0, 1)])
+        assert (bfs_distances_offsets(g, [], []) == UNREACHED).all()
+
+    def test_rejects_bad_inputs(self):
+        from repro.graph import bfs_distances_offsets
+        from repro.errors import VertexError
+
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError, match="non-negative"):
+            bfs_distances_offsets(g, [0], [-1])
+        with pytest.raises(ValueError, match="equal-length"):
+            bfs_distances_offsets(g, [0, 1], [0])
+        with pytest.raises(VertexError):
+            bfs_distances_offsets(g, [5], [0])

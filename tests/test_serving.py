@@ -536,3 +536,117 @@ class TestHTTP:
         for thread in threads:
             thread.join(timeout=60)
         assert not failures
+
+
+@pytest.mark.timeout(120)
+class TestHTTPErrorPaths:
+    """Satellite: malformed JSON, unknown mode, overload -> 503."""
+
+    @pytest.fixture(scope="class")
+    def tight_endpoint(self):
+        """A service whose admission control trips deterministically."""
+        graph = _small_graph(seed=81, n=80)
+        index = _build("ppl", graph)
+        with QueryService(index, num_workers=1,
+                          options=QueryOptions(mode="distance"),
+                          max_delay=0.001, max_pending=4) as service:
+            server = make_server(service)
+            server.serve_in_background()
+            host, port = server.server_address[:2]
+            try:
+                yield f"http://{host}:{port}"
+            finally:
+                server.shutdown()
+                server.server_close()
+
+    def _post_raw(self, base, path, body: bytes):
+        request = urllib.request.Request(
+            base + path, data=body,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                return reply.status, json.loads(reply.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_malformed_json_body_is_400(self, tight_endpoint):
+        status, payload = self._post_raw(tight_endpoint, "/query",
+                                         b"{not json at all")
+        assert status == 400
+        assert "bad request" in payload["error"]
+        status, payload = self._post_raw(tight_endpoint, "/query",
+                                         b"[1, 2, 3]")
+        assert status == 400
+        assert "JSON object" in payload["error"]
+        status, payload = self._post_raw(tight_endpoint, "/query", b"")
+        assert status == 400
+        assert "empty request body" in payload["error"]
+
+    def test_unknown_query_mode_is_400(self, tight_endpoint):
+        status, payload = self._post_raw(
+            tight_endpoint, "/query",
+            json.dumps({"u": 0, "v": 1,
+                        "mode": "teleport"}).encode())
+        assert status == 400
+        assert "unknown query mode" in payload["error"]
+
+    def test_overload_maps_to_503_with_retry_payload(self,
+                                                     tight_endpoint):
+        """A burst beyond max_pending is rejected whole: the bulk
+        admission pass raises ServiceOverloadedError before anything
+        is enqueued, and the front-end answers 503 + retry flag."""
+        burst = [[u, (u + 1) % 80] for u in range(64)]
+        status, payload = self._post_raw(
+            tight_endpoint, "/query",
+            json.dumps({"pairs": burst}).encode())
+        assert status == 503
+        assert payload["retry"] is True
+        assert "does not fit" in payload["error"]
+        # The service recovers: a fitting request still answers.
+        status, payload = self._post_raw(
+            tight_endpoint, "/query",
+            json.dumps({"u": 0, "v": 1}).encode())
+        assert status == 200
+
+
+@pytest.mark.timeout(180)
+class TestServeSignalHandling:
+    """Satellite: SIGINT/SIGTERM leave no orphaned worker processes."""
+
+    @pytest.mark.parametrize("signame", ["SIGINT", "SIGTERM"])
+    def test_signal_shuts_down_cleanly(self, signame, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        index_path = tmp_path / "serve.idx"
+        _build("ppl", _small_graph(seed=83, n=50)).save(index_path)
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--index", str(index_path), "--workers", "2",
+             "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            for _ in range(200):
+                line = process.stdout.readline()
+                assert line, "server exited before listening"
+                if "listening on" in line:
+                    break
+            else:
+                pytest.fail("server never reported listening")
+            process.send_signal(getattr(signal, signame))
+            output, _ = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "shutting down" in output
+        assert "draining batcher and stopping workers" in output
