@@ -87,6 +87,19 @@ class PathLabelling:
         present = np.nonzero(row != NO_LABEL)[0]
         return [(int(self.landmarks[i]), int(row[i])) for i in present]
 
+    def label_rows_float(self, vertices) -> np.ndarray:
+        """Label rows of ``vertices`` as float64, ``inf`` for absent.
+
+        One fancy-index gather over the dense matrix; the float form
+        is what the sketch broadcast and the batched distance kernel
+        compute on (``inf`` composes under ``+``/``min`` without
+        sentinel bookkeeping).
+        """
+        rows = self.label_matrix[np.asarray(vertices, dtype=np.int64)]
+        out = rows.astype(np.float64)
+        out[rows == NO_LABEL] = np.inf
+        return out
+
     def size_entries(self) -> int:
         """Number of materialized label entries (size(L) of §2)."""
         return int(np.count_nonzero(self.label_matrix != NO_LABEL))

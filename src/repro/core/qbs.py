@@ -20,14 +20,13 @@ search (Algorithm 4).
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
 from .._util import Stopwatch
-from ..errors import QueryError, VertexError
+from ..errors import IndexFormatError, QueryError, VertexError
 from ..graph.csr import Graph
 from .labelling import PathLabelling, build_labelling
 from .landmarks import select_landmarks
@@ -235,42 +234,44 @@ class QbSIndex:
             raise VertexError(v, self._graph.num_vertices)
 
     # ------------------------------------------------------------------
-    # Serialization
+    # Serialization (the engine's pickle-free npz format)
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Persist the index (graph + labelling + meta) with pickle."""
-        payload = {
-            "format": "repro-qbs-v1",
-            "graph": (self._graph.indptr, self._graph.indices),
-            "landmarks": self._labelling.landmarks,
-            "label_matrix": self._labelling.label_matrix,
-            "meta_edges": self._meta.edges,
-            "delta": self._meta.delta,
-            "report": self.report,
-        }
-        with open(path, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        """Persist the index in the engine's pickle-free npz format.
+
+        Historical versions pickled the index; that format could
+        execute arbitrary code on load, so it is write-dead. Saving
+        routes through :mod:`repro.engine.persist`, producing the same
+        self-describing archive every registered family uses.
+        """
+        from ..engine.persist import save_index
+        from ..engine.registry import get_index_class
+
+        index = self
+        engine_cls = get_index_class("qbs")
+        if not isinstance(index, engine_cls):
+            # A bare historical QbSIndex: re-dress it as the engine
+            # subclass (same state, by reference) so `to_state` exists.
+            index = engine_cls(self._graph, self._labelling, self._meta,
+                               self._sparsified, self.report)
+        save_index(index, path)
 
     @classmethod
     def load(cls, path) -> "QbSIndex":
-        """Load an index written by :meth:`save`."""
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        if payload.get("format") != "repro-qbs-v1":
-            raise QueryError(f"{path}: not a repro QbS index file")
-        indptr, indices = payload["graph"]
-        graph = Graph(indptr, indices, validate=False)
-        landmarks = payload["landmarks"]
-        position = np.full(graph.num_vertices, -1, dtype=np.int32)
-        position[landmarks] = np.arange(len(landmarks), dtype=np.int32)
-        labelling = PathLabelling(
-            landmarks=landmarks,
-            landmark_position=position,
-            label_matrix=payload["label_matrix"],
-            meta_edges=payload["meta_edges"],
-        )
-        meta = build_meta_graph(graph, labelling, precompute_delta=False)
-        meta.delta.update(payload["delta"])
-        sparsified = graph.remove_vertices(landmarks)
-        return cls(graph, labelling, meta, sparsified, payload["report"])
+        """Load a saved QbS index (uniform npz format only).
+
+        Files written by the retired pickle format are *detected* by
+        the engine loader and refused with a clear rebuild error
+        instead of being unpickled — loading untrusted pickle bytes
+        executes code.
+        """
+        from ..engine.persist import load_index
+
+        index = load_index(path)
+        if not isinstance(index, cls):
+            raise IndexFormatError(
+                f"{path}: holds a {type(index).method!r} index, "
+                f"not a QbS index"
+            )
+        return index

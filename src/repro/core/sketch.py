@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .._util import NO_LABEL
 from .labelling import PathLabelling
 from .metagraph import MetaGraph
 
@@ -96,7 +95,4 @@ def compute_sketch(labelling: PathLabelling, meta: MetaGraph,
 
 def _label_row(labelling: PathLabelling, t: int) -> np.ndarray:
     """Label distances of ``t`` as float64 with ``inf`` for absent."""
-    row = labelling.label_matrix[t]
-    out = row.astype(np.float64)
-    out[row == NO_LABEL] = np.inf
-    return out
+    return labelling.label_rows_float([t])[0]

@@ -41,6 +41,8 @@ from .._util import UNREACHED
 from ..baselines.oracle import spg_oracle
 from ..core.spg import ShortestPathGraph
 from ..engine.base import PathIndex
+from ..engine.batch import cached_label_arrays, distances_to_float, \
+    finalize_distances, pairs_to_arrays, two_hop_distance_many
 from ..engine.families import (
     ParentPplPathIndex,
     PplPathIndex,
@@ -71,6 +73,10 @@ DYNAMIC_FAMILIES = ("ppl", "parent-ppl")
 #: Mutation kinds accepted by :meth:`DynamicIndex.apply_batch`.
 _INSERT_KINDS = frozenset({"insert", "+"})
 _REMOVE_KINDS = frozenset({"delete", "remove", "-"})
+
+#: Largest endpoint-x-phantom-endpoint grid the batched poisoning
+#: screen will materialize; beyond it the screen runs per pair.
+_SCREEN_GRID_LIMIT = 5_000_000
 
 
 @register_index("dynamic")
@@ -243,6 +249,10 @@ class DynamicIndex(PathIndex):
         self._phantom_adj.clear()
         self._ops_since_rebuild = 0
         self._counters["rebuilds"] += 1
+        # The labels were replaced wholesale (and the fresh
+        # repaired-entries counter may coincide with the old one);
+        # the batch kernel's flat-array cache must not outlive them.
+        self._label_arrays_cache = None
 
     def _bump_and_maybe_rebuild(self) -> None:
         self._ops_since_rebuild += 1
@@ -280,6 +290,67 @@ class DynamicIndex(PathIndex):
         self._delta._check_vertex(u)
         self._delta._check_vertex(v)
         return self._resolve_distance(u, v)[0]
+
+    def distance_many(self, pairs) -> List[Optional[int]]:
+        """Batched distances: one label kernel + per-pair delta check.
+
+        The maintained labels answer the whole batch through the
+        vectorized 2-hop kernel (their graph is a supergraph of the
+        current one, so ``inf`` there is disconnection here, exactly).
+        With phantom edges pending, each finite answer is screened by
+        the usual poisoning test — edge ``(a, b)`` poisons ``(u, v)``
+        iff ``d(u,a) + 1 + d(b,v) = d`` in some orientation — but the
+        screen itself is batched: one kernel call answers the whole
+        endpoint-to-phantom-endpoint distance grid, and the test runs
+        as vectorized comparisons per phantom edge. Only genuinely
+        poisoned pairs re-validate through the scalar path — clean
+        pairs, the common case, never leave the kernel.
+        """
+        labels = self._labels
+        us, vs = pairs_to_arrays(pairs, self._delta.num_vertices)
+        # Keyed on the label-mutation counter, not the index version:
+        # deletions only poison (labels untouched), so they must not
+        # force an O(size(L)) re-flatten before the next batch.
+        flat = cached_label_arrays(self, labels.ranks, labels.dists,
+                                   labels.repaired_entries)
+        results = finalize_distances(
+            two_hop_distance_many(flat, us, vs))
+        if not self._phantom:
+            return results
+        unique, inverse = np.unique(np.concatenate((us, vs)),
+                                    return_inverse=True)
+        phantom_vertices = sorted({x for edge in self._phantom
+                                   for x in edge})
+        if len(unique) * len(phantom_vertices) > _SCREEN_GRID_LIMIT:
+            # Screening grid too large to materialize; screen per pair.
+            for b, d in enumerate(results):
+                if d is None or us[b] == vs[b]:
+                    continue
+                u, v = int(us[b]), int(vs[b])
+                if touches_phantom_edge(labels, u, v, d,
+                                        self._phantom):
+                    results[b] = self._resolve_distance(u, v)[0]
+            return results
+        grid = two_hop_distance_many(
+            flat,
+            np.repeat(unique, len(phantom_vertices)),
+            np.tile(np.asarray(phantom_vertices, dtype=np.int64),
+                    len(unique)),
+        ).reshape(len(unique), len(phantom_vertices))
+        column = {x: j for j, x in enumerate(phantom_vertices)}
+        to_u = grid[inverse[:len(us)]]
+        to_v = grid[inverse[len(us):]]
+        label_d = distances_to_float(results)
+        poisoned = np.zeros(len(us), dtype=bool)
+        for a, b in self._phantom:
+            col_a, col_b = column[a], column[b]
+            poisoned |= to_u[:, col_a] + 1.0 + to_v[:, col_b] == label_d
+            poisoned |= to_u[:, col_b] + 1.0 + to_v[:, col_a] == label_d
+        poisoned &= np.isfinite(label_d) & (us != vs)
+        for b in np.nonzero(poisoned)[0].tolist():
+            results[b] = self._resolve_distance(int(us[b]),
+                                                int(vs[b]))[0]
+        return results
 
     def _resolve_distance(self, u: int, v: int
                           ) -> Tuple[Optional[int], bool,
@@ -343,6 +414,11 @@ class DynamicIndex(PathIndex):
     def graph(self) -> Graph:
         """The *current* graph (materialized snapshot of the overlay)."""
         return self._delta.snapshot()
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count without materializing the snapshot."""
+        return self._delta.num_vertices
 
     @property
     def delta(self) -> DeltaGraph:

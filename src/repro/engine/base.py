@@ -8,6 +8,9 @@ defines the single contract they all satisfy:
 
 * ``build(graph, **params)``  — offline construction (classmethod);
 * ``distance(u, v)``          — exact distance, ``None`` if apart;
+* ``distance_many(pairs)``    — batched distances (families override
+  the per-pair default with vectorized kernels; see
+  :mod:`repro.engine.batch`);
 * ``query(u, v)``             — the shortest path graph, exactly;
 * ``query_many(pairs)``       — batched queries;
 * ``query_with_stats(u, v)``  — query plus search instrumentation
@@ -54,6 +57,19 @@ class PathIndex(abc.ABC):
     #: True for families built over :class:`~repro.directed.digraph.DiGraph`.
     directed: ClassVar[bool] = False
 
+    @property
+    def is_directed(self) -> bool:
+        """Whether ``(u, v)`` and ``(v, u)`` are distinct queries.
+
+        On undirected families the answer is symmetric, so result
+        caches and batch deduplication normalize keys to
+        ``(min(u, v), max(u, v))``; directed families keep ordered
+        keys. :class:`~repro.engine.session.QuerySession` and the
+        serving :class:`~repro.serving.batcher.Batcher` both gate
+        their key normalization on this flag.
+        """
+        return type(self).directed
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -70,6 +86,19 @@ class PathIndex(abc.ABC):
     @abc.abstractmethod
     def distance(self, u: int, v: int) -> Optional[int]:
         """Exact shortest-path distance (``None`` when disconnected)."""
+
+    def distance_many(self, pairs: Iterable[Tuple[int, int]]
+                      ) -> List[Optional[int]]:
+        """Exact distances for a batch of ``(u, v)`` pairs.
+
+        The contract's answers are identical to calling
+        :meth:`distance` per pair — this default does exactly that.
+        Families with array-backed labels override it with one
+        vectorized kernel invocation per batch
+        (:mod:`repro.engine.batch`); callers should always prefer
+        this entry point for more than a handful of pairs.
+        """
+        return [self.distance(u, v) for u, v in pairs]
 
     @abc.abstractmethod
     def query(self, u: int, v: int):
@@ -96,6 +125,17 @@ class PathIndex(abc.ABC):
     @abc.abstractmethod
     def graph(self):
         """The graph the index was built over."""
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count of the indexed graph.
+
+        Kept contract-level so hot paths can range-check vertex ids
+        without touching :attr:`graph` — mutable families override
+        this, because their ``graph`` property materializes a
+        snapshot.
+        """
+        return self.graph.num_vertices
 
     @property
     @abc.abstractmethod

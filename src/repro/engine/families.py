@@ -24,10 +24,11 @@ Registered methods:
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._util import UNREACHED
 from ..baselines.bibfs import BiBFS
 from ..baselines.naive import NaiveLabelling
 from ..baselines.parent_ppl import ParentPPLIndex
@@ -41,6 +42,8 @@ from ..directed.qbs import DirectedQbSIndex, _DirectedScheme, \
 from ..errors import IndexBuildError
 from ..graph.csr import Graph
 from .base import PathIndex
+from .batch import batched_min_plus, cached_label_arrays, \
+    finalize_distances, pairs_to_arrays, two_hop_distance_many
 from .registry import register_index
 
 __all__ = [
@@ -106,6 +109,22 @@ def _split_ragged(offsets: np.ndarray, flat: np.ndarray) -> List[List[int]]:
             for i in range(len(offsets) - 1)]
 
 
+def _label_merge_distance_many(index, pairs) -> List[Optional[int]]:
+    """Shared ``distance_many`` body of the 2-hop label families.
+
+    PPL and ParentPPL answer distances by the same merge-join over
+    rank-sorted labels; batched, both reduce to one
+    :func:`~repro.engine.batch.two_hop_distance_many` call over the
+    index's cached flat label arrays. The sound labels are a 2-hop
+    distance cover, so the kernel is exact and no per-pair fallback is
+    ever needed.
+    """
+    us, vs = pairs_to_arrays(pairs, index._graph.num_vertices)
+    labels = cached_label_arrays(index, index._label_ranks,
+                                 index._label_dists, index.version)
+    return finalize_distances(two_hop_distance_many(labels, us, vs))
+
+
 # ----------------------------------------------------------------------
 # QbS (the paper's method)
 # ----------------------------------------------------------------------
@@ -113,6 +132,61 @@ def _split_ragged(offsets: np.ndarray, flat: np.ndarray) -> List[List[int]]:
 @register_index("qbs")
 class QbsPathIndex(QbSIndex, PathIndex):
     """Query-by-Sketch behind the engine contract."""
+
+    def distance_many(self, pairs) -> List[Optional[int]]:
+        """Batched distances via one vectorized sketch-bound pass.
+
+        The sketch upper bound ``d_top`` (Eq. 3) for the whole batch
+        is one gather over the label matrix plus a min-plus reduction
+        against the meta-graph distance matrix. A pair is answered
+        without search when the bound is *provably* tight:
+
+        * a common-landmark lower bound ``max_r |d(u,r) - d(v,r)|``
+          (triangle inequality over exact label distances) meets
+          ``d_top``; or
+        * ``d_top == 2``, where the true distance is 1 exactly when
+          the edge ``{u, v}`` exists (``d_top >= 2`` always holds for
+          non-landmark endpoints, so nothing shorter is possible).
+
+        Everything else — landmark endpoints, unproven bounds,
+        sketch-disconnected pairs — falls back to the per-pair guided
+        search, whose answers the bounds never contradict.
+        """
+        us, vs = pairs_to_arrays(pairs, self._graph.num_vertices)
+        count = len(us)
+        results: List[Optional[int]] = [None] * count
+        if count == 0:
+            return results
+        resolved = us == vs
+        for i in np.nonzero(resolved)[0].tolist():
+            results[i] = 0
+        landmark = self._labelling.landmark_position >= 0
+        sketchable = ~resolved & ~landmark[us] & ~landmark[vs]
+        idx = np.nonzero(sketchable)[0]
+        if len(idx):
+            label_u = self._labelling.label_rows_float(us[idx])
+            label_v = self._labelling.label_rows_float(vs[idx])
+            num_r = self._meta.dist.shape[0]
+            d_top = batched_min_plus(label_u, self._meta.dist, label_v)
+            common = np.isfinite(label_u) & np.isfinite(label_v)
+            gap = np.zeros_like(label_u)
+            np.subtract(label_u, label_v, out=gap, where=common)
+            np.abs(gap, out=gap)
+            lower = gap.max(axis=1) if num_r else np.zeros(len(idx))
+            finite = np.isfinite(d_top)
+            tight = finite & (lower == d_top)
+            for k in np.nonzero(tight)[0].tolist():
+                results[idx[k]] = int(d_top[k])
+                resolved[idx[k]] = True
+            near = finite & ~tight & (d_top == 2.0)
+            for k in np.nonzero(near)[0].tolist():
+                b = idx[k]
+                results[b] = 1 if self._graph.has_edge(
+                    int(us[b]), int(vs[b])) else 2
+                resolved[b] = True
+        for b in np.nonzero(~resolved)[0].tolist():
+            results[b] = self.distance(int(us[b]), int(vs[b]))
+        return results
 
     @property
     def size_bytes(self) -> int:
@@ -191,8 +265,9 @@ class QbsPathIndex(QbSIndex, PathIndex):
         sparsified = graph.remove_vertices(landmarks)
         return cls(graph, labelling, meta_graph, sparsified, report)
 
-    # QbSIndex carries a historical pickle save/load; the engine
-    # subclass speaks the uniform npz format instead.
+    # Persistence comes from PathIndex unchanged; QbSIndex itself now
+    # routes its save/load through the same npz format (the historical
+    # pickle format is detected and refused on load).
     def save(self, path) -> None:
         PathIndex.save(self, path)
 
@@ -208,6 +283,10 @@ class QbsPathIndex(QbSIndex, PathIndex):
 @register_index("ppl")
 class PplPathIndex(PPLIndex, PathIndex):
     """Pruned Path Labelling behind the engine contract."""
+
+    def distance_many(self, pairs) -> List[Optional[int]]:
+        """Batched 2-hop label merges as one vectorized kernel call."""
+        return _label_merge_distance_many(self, pairs)
 
     @property
     def graph(self) -> Graph:
@@ -251,6 +330,14 @@ class PplPathIndex(PPLIndex, PathIndex):
 @register_index("parent-ppl")
 class ParentPplPathIndex(ParentPPLIndex, PathIndex):
     """ParentPPL behind the engine contract."""
+
+    def distance_many(self, pairs) -> List[Optional[int]]:
+        """Batched 2-hop label merges as one vectorized kernel call.
+
+        Parent sets play no role in distances, so the kernel is the
+        same as PPL's.
+        """
+        return _label_merge_distance_many(self, pairs)
 
     @property
     def graph(self) -> Graph:
@@ -313,6 +400,13 @@ class ParentPplPathIndex(ParentPPLIndex, PathIndex):
 @register_index("naive")
 class NaivePathIndex(NaiveLabelling, PathIndex):
     """Naive full path labelling behind the engine contract."""
+
+    def distance_many(self, pairs) -> List[Optional[int]]:
+        """One fancy-index gather over the all-pairs matrix."""
+        us, vs = pairs_to_arrays(pairs, self._graph.num_vertices)
+        row = self._matrix[us, vs]
+        return [None if value == UNREACHED else int(value)
+                for value in row.tolist()]
 
     @property
     def graph(self) -> Graph:

@@ -78,6 +78,16 @@ def _read_archive(path, with_arrays: bool):
     """
     try:
         with open(path, "rb") as handle:
+            if handle.read(1) == b"\x80":
+                # A pickle opcode, not a zip archive: the retired
+                # pre-engine pickle format. Never unpickle it.
+                raise IndexFormatError(
+                    f"{path}: legacy pickle-format index; this format "
+                    f"is no longer read (unpickling untrusted bytes "
+                    f"can execute code) — rebuild the index and save "
+                    f"it again in the npz format"
+                )
+            handle.seek(0)
             with np.load(handle, allow_pickle=False) as archive:
                 if _META_KEY not in archive.files:
                     raise IndexFormatError(

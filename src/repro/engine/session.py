@@ -16,7 +16,14 @@ and executes query batches under a :class:`QueryOptions` policy:
   index.version)``; repeated pairs in a workload (the common case for
   serving traffic) are answered without touching the index, and the
   version component invalidates every cached answer the moment a
-  mutable index applies an update.
+  mutable index applies an update. On undirected families the key is
+  normalized to ``(min(u, v), max(u, v))`` — gated on
+  :attr:`~repro.engine.base.PathIndex.is_directed` — so a ``(v, u)``
+  lookup hits what ``(u, v)`` cached;
+* **bulk distance dispatch** — a ``"distance"``-mode batch is
+  deduplicated and answered through one
+  :meth:`~repro.engine.base.PathIndex.distance_many` kernel call
+  instead of a per-pair Python loop (:meth:`QuerySession.query_many`).
 
 The harness's timing loops and the CLI ``query`` subcommand both run
 on sessions, so every index family gets batching, budgets and caching
@@ -36,10 +43,33 @@ from ..core.search import SearchStats
 from ..errors import QueryError
 from .base import PathIndex
 
-__all__ = ["QueryOptions", "QueryRecord", "BatchReport", "QuerySession"]
+__all__ = ["QueryOptions", "QueryRecord", "BatchReport", "QuerySession",
+           "normalize_pair"]
 
 #: Valid ``QueryOptions.mode`` values.
 QUERY_MODES = ("distance", "spg", "count-paths")
+
+#: Pairs per bulk kernel call when a time budget must be honoured —
+#: the budget is checked between chunks, so this bounds the overshoot.
+_BUDGET_CHUNK = 256
+
+
+def normalize_pair(u: int, v: int, mode: str,
+                   directed: bool) -> Tuple[int, int]:
+    """Canonical pair order for cache and dedup keys.
+
+    Distances and path counts are the same number either way on an
+    undirected index, so those modes normalize to ``(min, max)`` and
+    ``(v, u)`` shares ``(u, v)``'s key. SPG answers are *oriented*
+    (``source``/``target``, ``iter_paths`` direction), so ``"spg"``
+    keeps the requested order — a reversed caller must never be
+    served a flipped object. Directed indexes always keep order. The
+    session LRU and the serving batcher both key through this one
+    predicate, so the two layers cannot drift.
+    """
+    if v < u and mode != "spg" and not directed:
+        return v, u
+    return u, v
 
 
 @dataclass(frozen=True)
@@ -115,10 +145,33 @@ class BatchReport:
         return sum(1 for record in self.records if record.cached)
 
     def mean_query_ms(self) -> float:
-        """Mean wall-clock per executed query, in milliseconds."""
+        """Mean batch wall-clock per *record*, in milliseconds.
+
+        Cache hits are records too, so under a warm cache this is an
+        amortized number, not the latency of an actual index query —
+        see :meth:`mean_executed_ms` for that.
+        """
         if not self.records:
             return 0.0
         return self.elapsed * 1000.0 / len(self.records)
+
+    @property
+    def executed_queries(self) -> int:
+        """Records that actually ran a query (cache hits excluded)."""
+        return sum(1 for record in self.records if not record.cached)
+
+    def mean_executed_ms(self) -> float:
+        """Mean measured time per *executed* query, in milliseconds.
+
+        Excludes cache hits (0-second records that would understate
+        true per-query latency) and sums the executed records' own
+        timings, so batches dominated by hot keys still report what a
+        cold query costs. ``0.0`` when every record was a hit.
+        """
+        executed = [r.seconds for r in self.records if not r.cached]
+        if not executed:
+            return 0.0
+        return sum(executed) * 1000.0 / len(executed)
 
     def aggregate_stats(self) -> Dict[str, Any]:
         """Fold the per-query :class:`SearchStats` into batch totals."""
@@ -132,6 +185,8 @@ class BatchReport:
             "truncated": self.truncated,
             "elapsed_seconds": self.elapsed,
             "mean_query_ms": self.mean_query_ms(),
+            "executed_queries": self.executed_queries,
+            "mean_executed_ms": self.mean_executed_ms(),
             "queries_with_stats": len(collected),
             "edges_traversed": sum(s.edges_traversed for s in collected),
             "used_reverse": sum(1 for s in collected if s.used_reverse),
@@ -164,6 +219,22 @@ class QuerySession:
     def index(self) -> PathIndex:
         return self._index
 
+    def _resolve_mode(self, mode: Optional[str]) -> str:
+        if mode is None:
+            return self.options.mode
+        if mode not in QUERY_MODES:
+            raise QueryError(
+                f"unknown query mode {mode!r}; "
+                f"expected one of {QUERY_MODES}"
+            )
+        return mode
+
+    def _cache_key(self, u: int, v: int,
+                   mode: str) -> Tuple[int, int, str, int]:
+        """Cache/dedup key (see :func:`normalize_pair` for symmetry)."""
+        u, v = normalize_pair(u, v, mode, self._index.is_directed)
+        return (u, v, mode, self._index.version)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -179,17 +250,14 @@ class QuerySession:
         The cache key includes the index's :attr:`~repro.engine.base.
         PathIndex.version`, so entries cached before a mutation can
         never be served after it — they simply stop matching and age
-        out of the LRU.
+        out of the LRU. On an undirected index the key is symmetric
+        for the orientation-free modes (``distance``,
+        ``count-paths``): ``query(v, u)`` hits what ``query(u, v)``
+        cached.
         """
+        mode = self._resolve_mode(mode)
         options = self.options
-        if mode is None:
-            mode = options.mode
-        elif mode not in QUERY_MODES:
-            raise QueryError(
-                f"unknown query mode {mode!r}; "
-                f"expected one of {QUERY_MODES}"
-            )
-        key = (u, v, mode, self._index.version)
+        key = self._cache_key(u, v, mode)
         if options.cache_size:
             with self._cache_lock:
                 if key in self._cache:
@@ -217,12 +285,84 @@ class QuerySession:
         return QueryRecord(u=u, v=v, value=value, seconds=sw.elapsed,
                            stats=stats, mode=mode)
 
+    def query_many(self, pairs: Iterable[Tuple[int, int]],
+                   mode: Optional[str] = None) -> List[QueryRecord]:
+        """Answer a batch, bulk-dispatching where the mode allows it.
+
+        ``"distance"`` batches take the fast path: the cache is
+        consulted in one locked pass, the misses are deduplicated on
+        their (symmetric, for undirected indexes) keys, the surviving
+        unique pairs reach the index as a *single*
+        :meth:`~repro.engine.base.PathIndex.distance_many` kernel
+        call, and the cache is refilled in one more locked pass.
+        Records come back in input order; a record answered from the
+        LRU or from another occurrence of its own key in the same
+        batch is marked ``cached``. Other modes fall back to per-pair
+        :meth:`query` calls (SPG extraction has no batch kernel).
+        """
+        mode = self._resolve_mode(mode)
+        pairs = [(int(u), int(v)) for u, v in pairs]
+        if mode != "distance":
+            return [self.query(u, v, mode=mode) for u, v in pairs]
+        options = self.options
+        keys = [self._cache_key(u, v, mode) for u, v in pairs]
+        records: List[Optional[QueryRecord]] = [None] * len(pairs)
+        misses: "OrderedDict[Tuple[int, int, str, int], List[int]]" = \
+            OrderedDict()
+        if options.cache_size:
+            with self._cache_lock:
+                for i, key in enumerate(keys):
+                    if key in self._cache:
+                        self._cache.move_to_end(key)
+                        self._cache_hits += 1
+                        u, v = pairs[i]
+                        records[i] = QueryRecord(
+                            u=u, v=v, value=self._cache[key],
+                            seconds=0.0, cached=True, mode=mode)
+                    elif key in misses:
+                        # Answered by this batch's own deduplication
+                        # without touching the index — a hit, exactly
+                        # as the scalar path would have scored it one
+                        # query later (and as the record reports it).
+                        self._cache_hits += 1
+                        misses[key].append(i)
+                    else:
+                        self._cache_misses += 1
+                        misses[key] = [i]
+        else:
+            for i, key in enumerate(keys):
+                misses.setdefault(key, []).append(i)
+        if misses:
+            kernel_pairs = [(key[0], key[1]) for key in misses]
+            with Stopwatch() as sw:
+                values = self._index.distance_many(kernel_pairs)
+            share = sw.elapsed / len(kernel_pairs)
+            if options.cache_size:
+                with self._cache_lock:
+                    for key, value in zip(misses, values):
+                        self._cache[key] = value
+                        if len(self._cache) > options.cache_size:
+                            self._cache.popitem(last=False)
+            for key, value in zip(misses, values):
+                for position, i in enumerate(misses[key]):
+                    u, v = pairs[i]
+                    # The first occurrence carries the kernel's cost
+                    # share; duplicates were answered by batch dedup.
+                    records[i] = QueryRecord(
+                        u=u, v=v, value=value,
+                        seconds=share if position == 0 else 0.0,
+                        cached=position > 0, mode=mode)
+        return records
+
     def run(self, pairs: Iterable[Tuple[int, int]]) -> BatchReport:
         """Execute a batch, honouring the time budget if one is set.
 
-        The budget is checked between queries (queries are never
-        interrupted mid-flight); once exceeded, the remaining pairs
-        are skipped and the report is marked ``truncated``.
+        ``"distance"`` mode dispatches through the bulk
+        :meth:`query_many` path — one deduplicated kernel call per
+        batch (per chunk, under a time budget). The budget is checked
+        between queries or chunks (work in flight is never
+        interrupted); once exceeded, the remaining pairs are skipped
+        and the report is marked ``truncated``.
         """
         options = self.options
         report = BatchReport(mode=options.mode)
@@ -230,12 +370,24 @@ class QuerySession:
         if options.time_budget is not None:
             deadline = time.perf_counter() + options.time_budget
         with Stopwatch() as sw:
-            for u, v in pairs:
-                if deadline is not None \
-                        and time.perf_counter() > deadline:
-                    report.truncated = True
-                    break
-                report.records.append(self.query(u, v))
+            if options.mode == "distance":
+                pairs = list(pairs)
+                if deadline is None:
+                    report.records = self.query_many(pairs)
+                else:
+                    for start in range(0, len(pairs), _BUDGET_CHUNK):
+                        if time.perf_counter() > deadline:
+                            report.truncated = True
+                            break
+                        report.records.extend(self.query_many(
+                            pairs[start:start + _BUDGET_CHUNK]))
+            else:
+                for u, v in pairs:
+                    if deadline is not None \
+                            and time.perf_counter() > deadline:
+                        report.truncated = True
+                        break
+                    report.records.append(self.query(u, v))
         report.elapsed = sw.elapsed
         return report
 
@@ -251,18 +403,25 @@ class QuerySession:
     @property
     def cache_hits_total(self) -> int:
         """Cumulative cache hits over the session's lifetime."""
-        return self._cache_hits
+        with self._cache_lock:
+            return self._cache_hits
 
     @property
     def cache_misses_total(self) -> int:
         """Cumulative cache misses over the session's lifetime."""
-        return self._cache_misses
+        with self._cache_lock:
+            return self._cache_misses
 
     @property
     def cache_hit_rate(self) -> float:
-        """Lifetime hit rate (0.0 when caching is off or unused)."""
-        looked_up = self._cache_hits + self._cache_misses
-        return self._cache_hits / looked_up if looked_up else 0.0
+        """Lifetime hit rate (0.0 when caching is off or unused).
+
+        Both counters are read under the cache lock so concurrent
+        front-end threads see one consistent ratio.
+        """
+        with self._cache_lock:
+            looked_up = self._cache_hits + self._cache_misses
+            return self._cache_hits / looked_up if looked_up else 0.0
 
     def clear_cache(self) -> None:
         with self._cache_lock:

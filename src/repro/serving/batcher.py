@@ -5,9 +5,17 @@ label-merge distance query costs tens of microseconds, about the same
 as pickling one message. The :class:`Batcher` amortizes that cost by
 coalescing in-flight requests into batches, and exploits traffic
 skew by *deduplicating* within a batch: identical ``(u, v, mode)``
-keys are computed once and fanned out to every waiting caller. Under
-hot-key traffic (see ``sample_pairs_hotspot``) this cuts worker work
-well below the request count.
+keys are computed once and fanned out to every waiting caller. For
+undirected indexes (``directed=False``, the default — gate it on
+:attr:`~repro.engine.base.PathIndex.is_directed`) the key of an
+orientation-free request (``distance`` / ``count-paths``) is
+normalized to ``(min(u, v), max(u, v))``, so ``(v, u)`` requests
+coalesce with ``(u, v)`` instead of doubling the worker work; the
+answers are identical numbers either way. ``spg`` requests keep
+ordered keys — an SPG is oriented, and a reversed caller must not
+receive a flipped object. Under hot-key traffic (see
+``sample_pairs_hotspot``) this cuts worker work well below the
+request count.
 
 Flow control is explicit rather than emergent:
 
@@ -37,6 +45,7 @@ from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
+from ..engine.session import normalize_pair
 from ..errors import (
     RequestExpiredError,
     ServiceOverloadedError,
@@ -96,7 +105,9 @@ class Batcher:
                  max_batch: int = 256,
                  max_delay: float = 0.002,
                  max_pending: int = 10_000,
-                 time_budget: Optional[float] = None) -> None:
+                 time_budget: Optional[float] = None,
+                 directed: bool = False,
+                 default_mode: str = "spg") -> None:
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
         if max_delay <= 0:
@@ -109,6 +120,10 @@ class Batcher:
         self.max_delay = max_delay
         self.max_pending = max_pending
         self.time_budget = time_budget
+        self.directed = directed
+        #: What ``mode=None`` resolves to in the workers' sessions;
+        #: decides whether a request's key may be symmetric.
+        self.default_mode = default_mode
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._accumulating: Dict[Optional[str], _Accumulating] = {}
@@ -194,6 +209,8 @@ class Batcher:
                         future: "Future[Answer]",
                         deadline: Optional[float],
                         now: float) -> None:
+        effective = mode if mode is not None else self.default_mode
+        u, v = normalize_pair(u, v, effective, self.directed)
         batch = self._accumulating.get(mode)
         if batch is None:
             batch = _Accumulating(opened=now)

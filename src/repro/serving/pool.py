@@ -37,7 +37,7 @@ from typing import List, NamedTuple, Optional, Tuple
 
 from .._util import Stopwatch
 from ..engine.session import QueryOptions, QuerySession
-from ..errors import ReproError, ServingError
+from ..errors import ReproError, ServingError, VertexError
 from .snapshot import SnapshotHandle, materialize_snapshot
 
 __all__ = ["WorkerPool", "BatchMessage", "BatchResponse", "PairError",
@@ -90,6 +90,33 @@ class _Ready(NamedTuple):
     error: Optional[str]
 
 
+def _answer_distance_batch(session: QuerySession, pairs,
+                           mode: Optional[str]) -> List:
+    """One bulk kernel invocation for a distance batch.
+
+    Out-of-range vertex ids are weeded into :class:`PairError` slots
+    per pair (exactly what the scalar path produced for them); the
+    surviving pairs reach the index as a single ``distance_many``
+    call through the session's deduplicating bulk cache path.
+    """
+    num_vertices = session.index.num_vertices
+    values: List = [None] * len(pairs)
+    good = []
+    slots = []
+    for i, (u, v) in enumerate(pairs):
+        bad = next((x for x in (u, v)
+                    if not 0 <= x < num_vertices), None)
+        if bad is None:
+            good.append((u, v))
+            slots.append(i)
+        else:
+            values[i] = PairError(str(VertexError(bad, num_vertices)))
+    if good:
+        for i, record in zip(slots, session.query_many(good, mode=mode)):
+            values[i] = record.value
+    return values
+
+
 def _worker_main(worker_id: int, requests, responses,
                  handle: SnapshotHandle, options: QueryOptions) -> None:
     """Worker process body: materialize, then serve batches forever."""
@@ -125,13 +152,21 @@ def _worker_main(worker_id: int, requests, responses,
                     session = QuerySession(index, options)
                     epoch = handle.epoch
                 hits_before = session.cache_hits_total
-                values: List = []
-                for u, v in pairs:
-                    try:
-                        values.append(session.query(u, v, mode=mode)
-                                      .value)
-                    except ReproError as exc:
-                        values.append(PairError(str(exc)))
+                effective = (mode if mode is not None
+                             else options.mode)
+                if effective == "distance":
+                    # The whole deduplicated batch reaches the index
+                    # as one vectorized kernel invocation.
+                    values = _answer_distance_batch(session, pairs,
+                                                    mode)
+                else:
+                    values = []
+                    for u, v in pairs:
+                        try:
+                            values.append(
+                                session.query(u, v, mode=mode).value)
+                        except ReproError as exc:
+                            values.append(PairError(str(exc)))
             except BaseException as exc:
                 responses.put(BatchResponse(
                     batch_id, handle.epoch, worker_id, None,

@@ -82,7 +82,12 @@ class QueryService:
                 self._pool, self._snapshots.current_handle,
                 max_batch=max_batch, max_delay=max_delay,
                 max_pending=max_pending,
-                time_budget=self._options.time_budget)
+                time_budget=self._options.time_budget,
+                # Undirected sources get symmetric dedup keys for
+                # orientation-free modes: a (v, u) distance request
+                # coalesces with (u, v).
+                directed=index.is_directed,
+                default_mode=self._options.mode)
         except BaseException:
             self.close()
             raise

@@ -43,6 +43,8 @@ from .._util import UNREACHED
 from ..baselines.oracle import spg_edges_from_distances
 from ..core.spg import ShortestPathGraph
 from ..engine.base import PathIndex
+from ..engine.batch import batched_min_plus, distances_to_float, \
+    finalize_distances, pairs_to_arrays
 from ..engine.registry import get_index_class, register_index
 from ..errors import GraphValidationError, IndexBuildError
 from ..graph.csr import Graph
@@ -196,6 +198,107 @@ class ShardedIndex(PathIndex):
         best, _, _ = self._assemble_distance(u, v, direct=direct)
         return None if np.isinf(best) else int(best)
 
+    def distance_many(self, pairs) -> List[Optional[int]]:
+        """Batched cross-shard assembly with per-shard bulk gathers.
+
+        The scalar path pays one inner point query per boundary vertex
+        per endpoint; batched, every shard answers *all* its endpoint
+        boundary distances (and all cohabiting pairs) through the
+        inner family's own ``distance_many`` kernel, and the relay
+        minimum runs as one chunked min-plus reduction against the
+        overlay matrix per ``(shard, shard)`` group. Short local
+        answers (``d <= 2``) keep their provable short-circuit.
+        """
+        us, vs = pairs_to_arrays(pairs, self._graph.num_vertices)
+        count = len(us)
+        if count == 0:
+            return []
+        best = np.full(count, np.inf, dtype=np.float64)
+        assignment = self._partition.assignment
+        shard_u = assignment[us].astype(np.int64)
+        shard_v = assignment[vs].astype(np.int64)
+
+        settled = us == vs
+        best[settled] = 0.0
+
+        # Cohabiting pairs first: bulk inner answers, with the
+        # local-d<=2 short-circuit (provably global; see `distance`) —
+        # pairs it settles never pay for boundary rows below.
+        cohabiting = (shard_u == shard_v) & ~settled
+        direct = np.full(count, np.inf, dtype=np.float64)
+        for shard in range(self._partition.num_shards):
+            members = np.nonzero(cohabiting & (shard_u == shard))[0]
+            if not len(members):
+                continue
+            answers = self._shards[shard].distance_many(
+                [(int(self._local_id[us[b]]), int(self._local_id[vs[b]]))
+                 for b in members.tolist()])
+            direct[members] = distances_to_float(answers)
+        short = cohabiting & (direct <= 2)
+        best[short] = direct[short]
+        settled |= short
+        # Longer cohabiting answers stay candidates against the relay.
+        best[~settled] = direct[~settled]
+
+        # Per-unique-endpoint boundary distance rows for the pairs the
+        # relay must still consider, one bulk inner call per shard.
+        open_mask = ~settled
+        unique, inverse = np.unique(
+            np.concatenate((us[open_mask], vs[open_mask])),
+            return_inverse=True)
+        open_count = int(open_mask.sum())
+        slot_u = np.full(count, -1, dtype=np.int64)
+        slot_v = np.full(count, -1, dtype=np.int64)
+        slot_u[open_mask] = inverse[:open_count]
+        slot_v[open_mask] = inverse[open_count:]
+        boundary_rows: List[Optional[np.ndarray]] = [None] * len(unique)
+        unique_shard = assignment[unique] if len(unique) \
+            else np.zeros(0, dtype=np.int64)
+        for shard in range(self._partition.num_shards):
+            members = np.nonzero(unique_shard == shard)[0]
+            if not len(members):
+                continue
+            locals_b = self._shard_boundary_local[shard]
+            if not len(locals_b):
+                empty = np.zeros(0, dtype=np.float64)
+                for m in members.tolist():
+                    boundary_rows[m] = empty
+                continue
+            local_vertices = self._local_id[unique[members]]
+            answers = self._shards[shard].distance_many(
+                [(int(x), int(b)) for x in local_vertices.tolist()
+                 for b in locals_b.tolist()])
+            matrix = distances_to_float(answers).reshape(
+                len(members), len(locals_b))
+            for row, m in enumerate(members.tolist()):
+                boundary_rows[m] = matrix[row]
+
+        # Relay through the overlay, grouped by the (su, sv) shard
+        # pair so each group shares one overlay block.
+        open_idx = np.nonzero(open_mask)[0]
+        if len(open_idx) and self._overlay.num_boundary:
+            num_shards = self._partition.num_shards
+            group_key = shard_u[open_idx] * num_shards + shard_v[open_idx]
+            order = np.argsort(group_key, kind="stable")
+            open_idx = open_idx[order]
+            group_key = group_key[order]
+            starts = np.nonzero(np.r_[True, np.diff(group_key) != 0])[0]
+            ends = np.r_[starts[1:], len(open_idx)]
+            for lo, hi in zip(starts.tolist(), ends.tolist()):
+                group = open_idx[lo:hi]
+                s_u = int(shard_u[group[0]])
+                s_v = int(shard_v[group[0]])
+                overlay_u = self._shard_boundary_overlay[s_u]
+                overlay_v = self._shard_boundary_overlay[s_v]
+                if not len(overlay_u) or not len(overlay_v):
+                    continue
+                block = self._overlay.dist_float(overlay_u, overlay_v)
+                du = np.stack([boundary_rows[slot_u[b]] for b in group])
+                dv = np.stack([boundary_rows[slot_v[b]] for b in group])
+                best[group] = np.minimum(
+                    best[group], batched_min_plus(du, block, dv))
+        return finalize_distances(best)
+
     def query(self, u: int, v: int) -> ShortestPathGraph:
         self._graph._check_vertex(u)
         self._graph._check_vertex(v)
@@ -249,16 +352,13 @@ class ShardedIndex(PathIndex):
         boundary, as float64 with ``inf`` where locally disconnected.
 
         This is where the inner index earns its keep on the relay
-        path: one point query per boundary vertex of *one* shard.
+        path: one bulk kernel call covering the boundary of *one*
+        shard.
         """
         inner = self._shards[shard]
         locals_ = self._shard_boundary_local[shard]
-        out = np.full(len(locals_), np.inf, dtype=np.float64)
-        for i, lb in enumerate(locals_.tolist()):
-            d = inner.distance(local_v, int(lb))
-            if d is not None:
-                out[i] = float(d)
-        return out
+        return distances_to_float(inner.distance_many(
+            [(local_v, int(lb)) for lb in locals_.tolist()]))
 
     def _distance_field(self, u: int, du_b: np.ndarray,
                         other: int, dother_b: np.ndarray,

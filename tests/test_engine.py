@@ -304,13 +304,34 @@ class TestQuerySession:
     def test_lru_cache_hits_and_eviction(self, index):
         session = QuerySession(index, QueryOptions(mode="distance",
                                                    cache_size=2))
-        report = session.run([(0, 2), (0, 2), (0, 4), (3, 4), (0, 2)])
-        # Second (0, 2) hits; the final one was evicted by (0,4)/(3,4).
-        assert [r.cached for r in report.records] == \
-            [False, True, False, False, False]
+        # Sequential queries keep the classic LRU semantics.
+        assert not session.query(0, 2).cached
+        assert session.query(0, 2).cached
+        session.query(0, 4)
+        session.query(3, 4)  # evicts (0, 2)
+        assert not session.query(0, 2).cached
         assert session.cache_len == 2
         session.clear_cache()
         assert session.cache_len == 0
+
+    def test_bulk_distance_batch_dedupes_and_fills_cache(self, index):
+        session = QuerySession(index, QueryOptions(mode="distance",
+                                                   cache_size=8))
+        report = session.run([(0, 2), (0, 2), (2, 0), (0, 4)])
+        assert report.results == [index.distance(0, 2),
+                                  index.distance(0, 2),
+                                  index.distance(0, 2),
+                                  index.distance(0, 4)]
+        # One kernel pair per unique symmetric key; the duplicate and
+        # the reversed pair are answered from the batch's dedup.
+        assert [r.cached for r in report.records] == \
+            [False, True, True, False]
+        # Lifetime counters agree with the records: dedup answers
+        # score as hits, exactly like the scalar path would have.
+        assert session.cache_hits_total == 2
+        assert session.cache_misses_total == 2
+        follow_up = session.run([(2, 0)])
+        assert follow_up.records[0].cached  # LRU hit across batches
 
     def test_static_families_report_version_zero(self, index):
         assert index.version == 0

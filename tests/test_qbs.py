@@ -159,20 +159,50 @@ class TestSerialization:
     def test_save_load_round_trip(self, tmp_path):
         graph = erdos_renyi(60, 0.1, seed=23)
         index = QbSIndex.build(graph, num_landmarks=5)
-        path = tmp_path / "index.pkl"
+        path = tmp_path / "index.idx"
         index.save(path)
         loaded = QbSIndex.load(path)
         assert np.array_equal(loaded.landmarks, index.landmarks)
         for u, v in sample_vertex_pairs(graph, 12, seed=25):
             assert loaded.query(u, v) == index.query(u, v)
 
-    def test_load_rejects_garbage(self, tmp_path):
+    def test_save_writes_pickle_free_npz(self, tmp_path):
+        """The archive is a plain npz readable with allow_pickle=False."""
+        graph = erdos_renyi(30, 0.15, seed=29)
+        path = tmp_path / "index.idx"
+        QbSIndex.build(graph, num_landmarks=3).save(path)
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"PK"  # zip container, not pickle
+        with np.load(path, allow_pickle=False) as archive:
+            assert "label_matrix" in archive.files
+
+    def test_load_refuses_legacy_pickle(self, tmp_path):
+        """A pre-npz pickle file gets a clear rebuild error, and its
+        bytes are never unpickled."""
         import pickle
 
-        from repro import QueryError
+        from repro.errors import IndexFormatError
 
-        path = tmp_path / "bad.pkl"
+        path = tmp_path / "legacy.pkl"
         with open(path, "wb") as handle:
-            pickle.dump({"format": "nope"}, handle)
-        with pytest.raises(QueryError):
+            pickle.dump({"format": "repro-qbs-v1"}, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        with pytest.raises(IndexFormatError, match="legacy pickle"):
+            QbSIndex.load(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        from repro.errors import IndexFormatError
+
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"definitely not an index")
+        with pytest.raises(IndexFormatError):
+            QbSIndex.load(path)
+
+    def test_load_rejects_other_family(self, tmp_path):
+        from repro.engine import build_index
+        from repro.errors import IndexFormatError
+
+        path = tmp_path / "ppl.idx"
+        build_index(erdos_renyi(20, 0.2, seed=31), "ppl").save(path)
+        with pytest.raises(IndexFormatError, match="not a QbS"):
             QbSIndex.load(path)

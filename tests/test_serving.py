@@ -217,6 +217,19 @@ class TestQueryService:
         assert len(values) == 1
         assert service.stats()["deduplicated"] >= before + 30
 
+    def test_reversed_pairs_deduplicated(self, service, served_graph):
+        """On an undirected index (v, u) coalesces with (u, v)."""
+        before = service.stats()["deduplicated"]
+        futures = service.submit_many([(5, 91), (91, 5)] * 20)
+        values = {future.result(timeout=30).value
+                  for future in futures}
+        assert len(values) == 1
+        assert next(iter(values)) == distance_oracle(served_graph,
+                                                     5, 91)
+        # One submit_many burst lands in one accumulating batch, so
+        # all 40 requests share a single symmetric key.
+        assert service.stats()["deduplicated"] >= before + 39
+
     def test_vertex_validated_at_admission(self, service):
         with pytest.raises(VertexError, match="out of range"):
             service.submit(0, 10_000)
