@@ -20,7 +20,7 @@ earlier OOM/DNF walls — Tables 2 and 3) is preserved.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -38,8 +38,8 @@ def _norm(a: int, b: int) -> Edge:
     return (a, b) if a <= b else (b, a)
 
 
-def _merge_min(ranks_a: List[int], dists_a: List[int],
-               ranks_b: List[int], dists_b: List[int]) -> float:
+def _merge_min(ranks_a: Sequence[int], dists_a: Sequence[int],
+               ranks_b: Sequence[int], dists_b: Sequence[int]) -> float:
     """2-hop distance query by merge-join on rank-sorted label lists."""
     best = INF
     i = j = 0
@@ -60,12 +60,20 @@ def _merge_min(ranks_a: List[int], dists_a: List[int],
 
 
 class ParentPPLIndex:
-    """PPL labels augmented with per-entry parent sets."""
+    """PPL labels augmented with per-entry parent sets.
+
+    Like :class:`~repro.baselines.ppl.PPLIndex`, the query paths only
+    ``len()`` and integer-index the label containers (including the
+    per-entry parent rows, whose items must be iterables of parent
+    vertices), so the constructor accepts any sequence-of-sequences;
+    :mod:`repro.store` passes lazy store-backed rows here.
+    """
 
     def __init__(self, graph: Graph, order: np.ndarray,
-                 label_ranks: List[List[int]],
-                 label_dists: List[List[int]],
-                 label_parents: List[List[Tuple[int, ...]]]) -> None:
+                 label_ranks: Sequence[Sequence[int]],
+                 label_dists: Sequence[Sequence[int]],
+                 label_parents: Sequence[Sequence[Tuple[int, ...]]]
+                 ) -> None:
         self._graph = graph
         self._order = order
         self._label_ranks = label_ranks

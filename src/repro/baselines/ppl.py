@@ -40,7 +40,7 @@ lose to QbS by orders of magnitude at scale.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -102,11 +102,18 @@ class PPLIndex:
     by landmark rank, enabling merge-join distance queries. ``rank`` is
     the position in the degree-descending landmark order; vertex ids
     are recovered through ``order``.
+
+    Label-container contract: the query paths only ever take ``len()``
+    and integer-index the per-vertex rows — they never mutate them
+    (mutation happens solely during :meth:`build`, on lists it created
+    itself). Constructors therefore accept any sequence-of-sequences;
+    :mod:`repro.store` exploits this by passing lazy rows that fault
+    label windows in from a packed on-disk store on first touch.
     """
 
     def __init__(self, graph: Graph, order: np.ndarray,
-                 label_ranks: List[List[int]],
-                 label_dists: List[List[int]]) -> None:
+                 label_ranks: Sequence[Sequence[int]],
+                 label_dists: Sequence[Sequence[int]]) -> None:
         self._graph = graph
         self._order = order
         self._label_ranks = label_ranks
@@ -200,9 +207,10 @@ class PPLIndex:
                     queue.append(v)
 
     @staticmethod
-    def _query_distance_lists(ranks_a: List[int], dists_a: List[int],
-                              ranks_b: List[int], dists_b: List[int]
-                              ) -> float:
+    def _query_distance_lists(ranks_a: Sequence[int],
+                              dists_a: Sequence[int],
+                              ranks_b: Sequence[int],
+                              dists_b: Sequence[int]) -> float:
         """2-hop distance query by merge-join on sorted rank lists."""
         best = INF
         i = j = 0

@@ -46,6 +46,26 @@ Three kinds of commands:
   down gracefully: the batcher drains and the worker pool is joined
   (or terminated), so no orphaned worker processes survive Ctrl-C.
 
+* **inspect** — print a saved index's header and array layout
+  without loading it (works on npz archives and packed stores)::
+
+      python -m repro inspect douban.idx
+      python -m repro inspect douban.store
+
+* **store** — manage packed out-of-core label stores
+  (:mod:`repro.store`): ``pack`` converts a saved ``ppl`` /
+  ``parent-ppl`` npz archive into the memmap-servable ``REPROSTR``
+  container, ``inspect`` prints its tier layout::
+
+      python -m repro store pack --index douban.idx \\
+          --out douban.store --head-width 32 --hot-rows 64
+      python -m repro store inspect douban.store
+
+  A packed store loads through the ordinary ``query``/``serve``
+  commands (``--index douban.store``) with the cold label tail
+  faulted from disk on demand; ``serve --store mmap`` packs the
+  snapshot itself so workers share one on-disk copy.
+
 * **partition** — partition a stand-in and print the quality report
   (edge cut, balance, boundary fraction), optionally saving the
   partition map for a later sharded build::
@@ -221,8 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--queue-depth", type=int, default=10_000,
                            help="admission-control pending limit")
     serve_cmd.add_argument("--store", default="shm",
-                           choices=("shm", "file", "cow"),
-                           help="snapshot transport to the workers")
+                           choices=("shm", "file", "cow", "mmap"),
+                           help="snapshot transport to the workers "
+                                "(mmap: out-of-core label store, "
+                                "workers share the OS page cache)")
     serve_cmd.add_argument("--host", default="127.0.0.1",
                            help="bind address for the HTTP endpoint")
     serve_cmd.add_argument("--port", type=int, default=8080,
@@ -234,6 +256,40 @@ def build_parser() -> argparse.ArgumentParser:
                                 "latency report, exit")
     serve_cmd.add_argument("--seed", type=int, default=0,
                            help="seed for the --smoke workload")
+
+    inspect_cmd = commands.add_parser(
+        "inspect", help="print a saved index's header and array "
+                        "layout without loading it")
+    inspect_cmd.add_argument("path",
+                             help="saved index (npz archive or packed "
+                                  "store)")
+
+    store_cmd = commands.add_parser(
+        "store", help="manage packed out-of-core label stores")
+    store_actions = store_cmd.add_subparsers(dest="store_action",
+                                             required=True,
+                                             metavar="action")
+    pack_cmd = store_actions.add_parser(
+        "pack", help="pack a saved ppl/parent-ppl index into the "
+                     "memmap-servable container")
+    pack_cmd.add_argument("--index", required=True,
+                          help="saved index (build command output)")
+    pack_cmd.add_argument("--out", required=True,
+                          help="output path for the packed store")
+    pack_cmd.add_argument("--head-width", type=int, default=None,
+                          metavar="W",
+                          help="dense head columns pinned in RAM "
+                               "(default: 32)")
+    pack_cmd.add_argument("--hot-rows", type=int, default=None,
+                          metavar="N",
+                          help="highest-rank hub label rows pinned at "
+                               "open (default: 32)")
+    pack_cmd.add_argument("--page-bytes", type=int, default=None,
+                          help="payload alignment (power of two, "
+                               "default: 4096)")
+    store_inspect_cmd = store_actions.add_parser(
+        "inspect", help="print a packed store's tier layout")
+    store_inspect_cmd.add_argument("path", help="packed store file")
 
     partition_cmd = commands.add_parser(
         "partition", help="partition a stand-in and report quality")
@@ -270,6 +326,10 @@ def _dispatch(args) -> int:
         return _run_update(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "inspect":
+        return _run_inspect(args)
+    if args.experiment == "store":
+        return _run_store(args)
     if args.experiment == "partition":
         return _run_partition(args)
     runner = _EXPERIMENTS[args.experiment]
@@ -551,6 +611,80 @@ def _serve_until_signalled(server, ready_message: str) -> None:
             except (ValueError, OSError):  # pragma: no cover
                 pass
         server.server_close()
+
+
+def _run_inspect(args) -> int:
+    from .engine import describe_index
+
+    description = describe_index(args.path)
+    _print_description(args.path, description)
+    return 0
+
+
+def _run_store(args) -> int:
+    if args.store_action == "pack":
+        return _run_store_pack(args)
+    return _run_store_inspect(args)
+
+
+def _run_store_pack(args) -> int:
+    from .store import (
+        DEFAULT_HEAD_WIDTH,
+        DEFAULT_HOT_ROWS,
+        DEFAULT_PAGE_BYTES,
+        pack_index_store,
+    )
+    from .engine import describe_index
+
+    header = pack_index_store(
+        args.index, args.out,
+        head_width=(args.head_width if args.head_width is not None
+                    else DEFAULT_HEAD_WIDTH),
+        hot_rows=(args.hot_rows if args.hot_rows is not None
+                  else DEFAULT_HOT_ROWS),
+        page_bytes=(args.page_bytes if args.page_bytes is not None
+                    else DEFAULT_PAGE_BYTES))
+    description = describe_index(args.out)
+    _print_description(args.out, description)
+    hot = sum(spec["nbytes"] for spec in description["arrays"]
+              if spec.get("tier") == "hot")
+    cold = sum(spec["nbytes"] for spec in description["arrays"]
+               if spec.get("tier") == "cold")
+    print(f"packed {header['method']!r} index from {args.index} to "
+          f"{args.out} (hot tier {hot} B in RAM at open, cold tier "
+          f"{cold} B faulted on demand)")
+    return 0
+
+
+def _run_store_inspect(args) -> int:
+    from .engine import describe_index
+    from .errors import IndexFormatError
+
+    description = describe_index(args.path)
+    if description["kind"] != "store":
+        raise IndexFormatError(
+            f"{args.path}: not a packed store (a "
+            f"{description['kind']} index; use 'repro inspect', or "
+            f"pack it with 'repro store pack')")
+    _print_description(args.path, description)
+    return 0
+
+
+def _print_description(path, description: dict) -> None:
+    rows = [{
+        "array": spec["name"],
+        "dtype": spec["dtype"],
+        "shape": "x".join(str(d) for d in spec["shape"]),
+        "bytes": spec["nbytes"],
+        "tier": spec.get("tier", "-"),
+    } for spec in description["arrays"]]
+    print(harness.format_rows(
+        rows, columns=("array", "dtype", "shape", "bytes", "tier")))
+    logical = sum(spec["nbytes"] for spec in description["arrays"])
+    print(f"{path}: {description['format']} v{description['version']} "
+          f"({description['kind']}), method={description['method']!r}, "
+          f"{len(description['arrays'])} arrays, {logical} logical "
+          f"bytes, {description['file_bytes']} on disk")
 
 
 def _run_partition(args) -> int:

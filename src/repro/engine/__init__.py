@@ -34,7 +34,13 @@ Typical use::
 """
 
 from .base import PathIndex
-from .persist import load_index, peek_index, save_index
+from .persist import (
+    describe_index,
+    load_index,
+    peek_index,
+    read_index_state,
+    save_index,
+)
 from .registry import (
     available_methods,
     build_index,
@@ -63,6 +69,8 @@ __all__ = [
     "save_index",
     "load_index",
     "peek_index",
+    "describe_index",
+    "read_index_state",
     "QuerySession",
     "QueryOptions",
     "QueryRecord",

@@ -149,12 +149,11 @@ class LabelArrays:
     def from_lists(cls, label_ranks: Sequence[Sequence[int]],
                    label_dists: Sequence[Sequence[int]]
                    ) -> "LabelArrays":
-        num_vertices = max(1, len(label_ranks))
-        width = int(min(_HEAD_WIDTH,
-                        max(16, _HEAD_BYTES // (4 * num_vertices))))
         counts = np.fromiter((len(ranks) for ranks in label_ranks),
                              dtype=np.int64, count=len(label_ranks))
-        total = int(counts.sum())
+        offsets = np.zeros(len(label_ranks) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
         flat_ranks = np.empty(total, dtype=np.int64)
         flat_dists = np.empty(total, dtype=np.float64)
         position = 0
@@ -163,22 +162,49 @@ class LabelArrays:
             flat_ranks[position:position + step] = ranks
             flat_dists[position:position + step] = dists
             position += step
+        return cls.from_flat(offsets, flat_ranks, flat_dists)
+
+    @classmethod
+    def from_flat(cls, offsets: np.ndarray, flat_ranks: np.ndarray,
+                  flat_dists: np.ndarray,
+                  head_width: Optional[int] = None) -> "LabelArrays":
+        """Pack from a flat label CSR (``offsets[v]:offsets[v + 1]``
+        slices vertex ``v``'s rank-sorted entries).
+
+        This is the zero-materialization path: the persistence format
+        and the out-of-core store both hold labels in exactly this
+        layout, and the inputs may be memmap-backed — everything here
+        is one vectorized pass, no per-vertex Python objects. Entries
+        must be ordered by (vertex, rank), which every producer of the
+        flat layout guarantees.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        num_vertices = len(offsets) - 1
+        if head_width is None:
+            head_width = int(min(
+                _HEAD_WIDTH,
+                max(16, _HEAD_BYTES // (4 * max(1, num_vertices)))))
+        flat_ranks = np.asarray(flat_ranks, dtype=np.int64)
+        flat_dists = np.asarray(flat_dists, dtype=np.float64)
+        counts = np.diff(offsets)
         vertex_of = np.repeat(
-            np.arange(len(label_ranks), dtype=np.int64), counts)
-        in_head = flat_ranks < width
-        head = np.full((len(label_ranks), width), np.inf,
+            np.arange(num_vertices, dtype=np.int64), counts)
+        in_head = flat_ranks < head_width
+        head = np.full((num_vertices, head_width), np.inf,
                        dtype=np.float32)
         head[vertex_of[in_head], flat_ranks[in_head]] = \
             flat_dists[in_head]
         in_tail = ~in_head
-        tail_offsets = np.zeros(len(label_ranks) + 1, dtype=np.int64)
+        tail_offsets = np.zeros(num_vertices + 1, dtype=np.int64)
         np.cumsum(np.bincount(vertex_of[in_tail],
-                              minlength=len(label_ranks)),
+                              minlength=num_vertices),
                   out=tail_offsets[1:])
         # Entries are ordered by (vertex, rank) already, so the masked
         # views are the tail CSR verbatim.
-        return cls(head, tail_offsets, flat_ranks[in_tail],
-                   flat_dists[in_tail], len(label_ranks))
+        return cls(head, tail_offsets,
+                   np.ascontiguousarray(flat_ranks[in_tail]),
+                   np.ascontiguousarray(flat_dists[in_tail]),
+                   num_vertices)
 
     def gather_tail(self, vertices: np.ndarray
                     ) -> Tuple[np.ndarray, np.ndarray]:

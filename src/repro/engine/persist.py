@@ -16,14 +16,33 @@ and whose remaining entries are the family's numpy arrays (from
   unlike the historical QbS pickle files, archives cannot execute
   code on load and are portable across Python versions;
 * **inspectable** — ``peek_index(path)`` returns the header without
-  reconstructing the index.
+  reconstructing the index, and ``describe_index(path)`` additionally
+  lists every array's name/dtype/shape without reading array data;
+* **crash-safe** — ``save_index`` writes to a same-directory
+  temporary file and ``os.replace``\\ s it into place, so a crash
+  mid-write can never leave a torn archive behind the final name (a
+  serving hot-swap only ever sees the old file or the complete new
+  one).
+
+Out-of-core stores: ``load_index`` also accepts the packed
+``REPROSTR`` container written by
+:func:`repro.store.pack_index_store` (detected by magic) and returns
+a store-backed index that faults labels in on demand. Passing
+``mmap=True`` *requires* the memmap-served path — on a compressed
+npz archive (which cannot be memmapped) it raises
+:class:`~repro.errors.IndexFormatError` pointing at
+``repro store pack`` instead of silently materializing everything.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import struct
+import tempfile
 import zipfile
-from typing import Any, Dict
+import zlib
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -31,8 +50,8 @@ from ..errors import GraphValidationError, IndexFormatError
 from .base import PathIndex
 from .registry import get_index_class
 
-__all__ = ["save_index", "load_index", "peek_index",
-           "FORMAT_NAME", "FORMAT_VERSION"]
+__all__ = ["save_index", "load_index", "peek_index", "describe_index",
+           "read_index_state", "FORMAT_NAME", "FORMAT_VERSION"]
 
 FORMAT_NAME = "repro-pathindex"
 FORMAT_VERSION = 1
@@ -42,10 +61,15 @@ _META_KEY = "__meta__"
 
 
 def save_index(index: PathIndex, path) -> None:
-    """Write ``index`` to ``path`` in the uniform format.
+    """Write ``index`` to ``path`` in the uniform format, atomically.
 
-    The file is written through an open handle so the name is taken
-    literally (``np.savez`` would append ``.npz`` to bare paths).
+    The archive is assembled in a temporary file in the *same
+    directory* (same filesystem, so the final rename cannot degrade
+    to a copy), fsynced, and moved over ``path`` with ``os.replace``.
+    A crash at any point leaves either the previous file or the
+    complete new one — never a truncated archive. The file is written
+    through an open handle so the name is taken literally
+    (``np.savez`` would append ``.npz`` to bare paths).
     """
     meta, arrays = index.to_state()
     if _META_KEY in arrays:
@@ -58,15 +82,29 @@ def save_index(index: PathIndex, path) -> None:
         "method": index.method,
         "state": meta,
     })
+    directory = os.path.dirname(os.path.abspath(os.fspath(path)))
+    tmp = None
     try:
-        with open(path, "wb") as handle:
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".repro-idx-",
+                                   suffix=".tmp")
+        with os.fdopen(fd, "wb") as handle:
             np.savez_compressed(handle,
                                 **{_META_KEY: np.asarray(header)},
                                 **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        tmp = None
     except OSError as exc:
         raise IndexFormatError(
             f"{path}: cannot write index archive ({exc})"
         ) from exc
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover
+                pass
 
 
 def _read_archive(path, with_arrays: bool):
@@ -74,7 +112,11 @@ def _read_archive(path, with_arrays: bool):
 
     All I/O and structural failures are normalized to
     :class:`IndexFormatError` here, so :func:`peek_index` and
-    :func:`load_index` cannot drift apart in what they accept.
+    :func:`load_index` cannot drift apart in what they accept. The
+    except tuple includes the decompression-layer errors a *truncated*
+    member raises (``zlib.error``, ``struct.error``, ``EOFError``) —
+    a partially copied archive must fail loudly, never yield a
+    partial index.
     """
     try:
         with open(path, "rb") as handle:
@@ -100,7 +142,8 @@ def _read_archive(path, with_arrays: bool):
                     arrays = {name: archive[name]
                               for name in archive.files
                               if name != _META_KEY}
-    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError,
+            struct.error, zlib.error) as exc:
         raise IndexFormatError(
             f"{path}: not a repro index archive ({exc})"
         ) from exc
@@ -108,13 +151,53 @@ def _read_archive(path, with_arrays: bool):
 
 
 def peek_index(path) -> Dict[str, Any]:
-    """Read and validate the JSON header of a saved index."""
+    """Read and validate the JSON header of a saved index.
+
+    Works on both formats: npz archives return the ``repro-pathindex``
+    header, packed label stores the ``repro-labelstore`` one (which
+    additionally carries the array specs and tier assignments).
+    """
+    if _is_store(path):
+        from ..store import read_store_header
+
+        header, _ = read_store_header(path)
+        return header
     header, _ = _read_archive(path, with_arrays=False)
     return header
 
 
-def load_index(path) -> PathIndex:
-    """Load a saved index of any registered family."""
+def read_index_state(path) -> Tuple[str, Dict[str, Any],
+                                    Dict[str, np.ndarray]]:
+    """Read an npz archive's raw ``(method, state, arrays)``.
+
+    The decomposed form of :func:`load_index` — for consumers that
+    repack the arrays (e.g. ``repro store pack``) and must not pay
+    for reconstructing per-vertex Python structures.
+    """
+    header, arrays = _read_archive(path, with_arrays=True)
+    return header["method"], header.get("state", {}), arrays
+
+
+def load_index(path, *, mmap: bool = False) -> PathIndex:
+    """Load a saved index of any registered family.
+
+    ``path`` may be an npz archive (fully materialized on load) or a
+    packed label store (opened out-of-core: hot tier in RAM, cold
+    labels faulted per query). With ``mmap=True`` the memmap-served
+    path is *required*: a packed store opens as usual, a compressed
+    npz raises :class:`IndexFormatError` (compressed archives cannot
+    be memmapped — convert once with ``repro store pack``).
+    """
+    if _is_store(path):
+        from ..store import open_store_index
+
+        return open_store_index(path)
+    if mmap:
+        raise IndexFormatError(
+            f"{path}: not a packed label store — compressed npz "
+            f"archives cannot be memmapped; convert it once with "
+            f"'repro store pack' and load the .store file"
+        )
     header, arrays = _read_archive(path, with_arrays=True)
     try:
         cls = get_index_class(header["method"])
@@ -132,6 +215,93 @@ def load_index(path) -> PathIndex:
         raise IndexFormatError(
             f"{path}: {header['method']!r} archive is incomplete or "
             f"corrupt ({exc!r})"
+        ) from exc
+
+
+def describe_index(path) -> Dict[str, Any]:
+    """Describe a saved index without loading it.
+
+    Returns the header fields plus one entry per stored array
+    (name / dtype / shape / logical bytes; packed stores add the
+    tier), and the on-disk size. Array *data* is never read: npz
+    member headers are parsed straight out of the zip directory,
+    store specs come from the container header.
+    """
+    size = _file_size(path)
+    if _is_store(path):
+        from ..store import read_store_header
+
+        header, _ = read_store_header(path)
+        arrays = [{
+            "name": spec["name"],
+            "dtype": spec["dtype"],
+            "shape": tuple(spec["shape"]),
+            "nbytes": int(spec["nbytes"]),
+            "tier": spec["tier"],
+        } for spec in header["arrays"]]
+        return {
+            "kind": "store",
+            "format": header["format"],
+            "version": header["version"],
+            "method": header["method"],
+            "state": header.get("state", {}),
+            "file_bytes": size,
+            "page_bytes": header["page_bytes"],
+            "arrays": arrays,
+        }
+    header, _ = _read_archive(path, with_arrays=False)
+    arrays = []
+    try:
+        with zipfile.ZipFile(os.fspath(path)) as archive:
+            for info in archive.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[:-4]
+                if name == _META_KEY:
+                    continue
+                with archive.open(info) as member:
+                    version = np.lib.format.read_magic(member)
+                    if version[0] == 1:
+                        shape, _, dtype = \
+                            np.lib.format.read_array_header_1_0(member)
+                    else:
+                        shape, _, dtype = \
+                            np.lib.format.read_array_header_2_0(member)
+                arrays.append({
+                    "name": name,
+                    "dtype": dtype.str,
+                    "shape": tuple(shape),
+                    "nbytes": int(np.prod(shape, dtype=np.int64)
+                                  * dtype.itemsize),
+                })
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError,
+            struct.error, zlib.error) as exc:
+        raise IndexFormatError(
+            f"{path}: cannot describe archive ({exc})"
+        ) from exc
+    return {
+        "kind": "npz",
+        "format": header["format"],
+        "version": header["version"],
+        "method": header["method"],
+        "state": header.get("state", {}),
+        "file_bytes": size,
+        "arrays": arrays,
+    }
+
+
+def _is_store(path) -> bool:
+    from ..store import is_store_file
+
+    return is_store_file(path)
+
+
+def _file_size(path) -> int:
+    try:
+        return os.path.getsize(path)
+    except OSError as exc:
+        raise IndexFormatError(
+            f"{path}: cannot stat index file ({exc})"
         ) from exc
 
 

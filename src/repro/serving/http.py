@@ -12,7 +12,10 @@ Endpoints:
     serving epoch.
 ``GET /stats``
     The service's counters (submitted/answered/deduplicated/...,
-    pool and snapshot gauges).
+    pool and snapshot gauges). When the service runs ``store="mmap"``
+    the reply carries a ``"label_store"`` sub-object with the
+    fleet-aggregated out-of-core store counters: page-cache hits /
+    misses / evictions, resident bytes, and the hot-tier fraction.
 ``POST /query``
     Body ``{"u": 1, "v": 2, "mode": "distance"}`` for one query, or
     ``{"pairs": [[1, 2], [3, 4]], "mode": "spg"}`` for a burst.

@@ -75,6 +75,9 @@ class BatchResponse(NamedTuple):
     seconds: float
     #: Result-cache hits while answering *this* batch.
     cache_hits: int
+    #: Label-store counters of the worker's replica, when it serves a
+    #: ``mmap`` snapshot through an out-of-core store (else ``None``).
+    store: Optional[dict] = None
 
 
 class PairError(NamedTuple):
@@ -172,9 +175,11 @@ def _worker_main(worker_id: int, requests, responses,
                     batch_id, handle.epoch, worker_id, None,
                     f"{type(exc).__name__}: {exc}", sw.elapsed, 0))
                 continue
+        store_stats = getattr(index, "store_stats", None)
         responses.put(BatchResponse(
             batch_id, epoch, worker_id, values, None, sw.elapsed,
-            session.cache_hits_total - hits_before))
+            session.cache_hits_total - hits_before,
+            store_stats() if store_stats is not None else None))
 
 
 class WorkerPool:

@@ -209,10 +209,16 @@ class QueryService:
         return self._snapshots.graph_at(epoch)
 
     def stats(self) -> Dict[str, object]:
-        """Batcher counters plus pool and snapshot gauges."""
+        """Batcher counters plus pool and snapshot gauges.
+
+        Under ``store="mmap"`` the dict additionally carries a
+        ``"label_store"`` sub-dict: the fleet-aggregated page-cache
+        counters (hits, misses, evictions, resident bytes, hot-tier
+        fraction) of the workers' out-of-core stores.
+        """
         self._check_open()
         current = self._snapshots.current
-        return {
+        stats = {
             **self._batcher.stats(),
             "num_workers": self._pool.num_workers,
             "alive_workers": self._pool.alive_workers,
@@ -222,6 +228,10 @@ class QueryService:
             "store": current.handle.kind,
             "published_epochs": len(self._snapshots.epochs),
         }
+        label_store = self._batcher.label_store_stats()
+        if label_store is not None:
+            stats["label_store"] = label_store
+        return stats
 
     # ------------------------------------------------------------------
     # Lifecycle

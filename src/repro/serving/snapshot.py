@@ -36,6 +36,14 @@ pluggable through the ``kind`` of the :class:`SnapshotHandle`:
     copy-on-write page sharing. Zero serialization, but only possible
     for the *initial* snapshot (a forked child cannot receive new
     objects), so later publishes under ``cow`` degrade to ``file``.
+``mmap``
+    The snapshot is packed into the out-of-core ``REPROSTR``
+    container (:func:`repro.store.pack_index_store`) and workers open
+    it memory-mapped: the hot tier (head matrix, offsets, hub rows)
+    loads into each worker, but the cold label tail stays on disk and
+    is faulted through one shared set of OS page-cache pages — N
+    workers serve an index bigger than any single worker's RAM.
+    Only the label families (``ppl`` / ``parent-ppl``) pack.
 """
 
 from __future__ import annotations
@@ -58,7 +66,7 @@ __all__ = ["SnapshotHandle", "Snapshot", "SnapshotManager",
            "materialize_snapshot", "SNAPSHOT_STORES"]
 
 #: Supported snapshot transport kinds.
-SNAPSHOT_STORES = ("shm", "file", "cow")
+SNAPSHOT_STORES = ("shm", "file", "cow", "mmap")
 
 #: Alignment of array payloads inside a shared-memory segment.
 _ALIGN = 64
@@ -225,6 +233,10 @@ def materialize_snapshot(handle: SnapshotHandle) -> PathIndex:
         return _unpack_from_shm(handle.ref)
     if handle.kind == "file":
         return load_index(handle.ref)
+    if handle.kind == "mmap":
+        from ..store import open_store_index
+
+        return open_store_index(handle.ref)
     if handle.kind == "cow":
         if handle.ref is None:
             # The worker pool strips the live object before a handle
@@ -275,6 +287,15 @@ class SnapshotManager:
         if keep < 2:
             raise ServingError("keep must be >= 2 (a late batch may "
                                "still reference the previous epoch)")
+        if store == "mmap":
+            from ..store import STORE_METHODS
+
+            if source.method not in STORE_METHODS:
+                raise ServingError(
+                    f"store='mmap' packs label families "
+                    f"{STORE_METHODS}; {source.method!r} indexes "
+                    f"have no flat label layout to memory-map"
+                )
         if audit_history < keep:
             raise ServingError("audit_history must be >= keep")
         self._source = source
@@ -338,17 +359,25 @@ class SnapshotManager:
             handle = SnapshotHandle(epoch, version, source.method,
                                     "file", str(path))
             return Snapshot(handle=handle, graph=graph)
+        if kind == "mmap":
+            from ..store import pack_index_store
+
+            path = self._snapshot_path(epoch, suffix=".store")
+            pack_index_store(source, path)
+            handle = SnapshotHandle(epoch, version, source.method,
+                                    "mmap", str(path))
+            return Snapshot(handle=handle, graph=graph)
         handle = SnapshotHandle(epoch, version, source.method,
                                 "cow", source)
         return Snapshot(handle=handle, graph=graph)
 
-    def _snapshot_path(self, epoch: int) -> Path:
+    def _snapshot_path(self, epoch: int, suffix: str = ".idx") -> Path:
         if self._directory is None:
             self._directory = Path(tempfile.mkdtemp(
                 prefix="repro-serving-"))
             self._owns_directory = True
         self._directory.mkdir(parents=True, exist_ok=True)
-        return self._directory / f"snapshot-{epoch:06d}.idx"
+        return self._directory / f"snapshot-{epoch:06d}{suffix}"
 
     # -- lookup ---------------------------------------------------------
 
@@ -412,7 +441,9 @@ class SnapshotManager:
                 segment.unlink()
             except (FileNotFoundError, OSError):
                 pass
-        elif snapshot.handle.kind == "file":
+        elif snapshot.handle.kind in ("file", "mmap"):
+            # POSIX unlink with workers still holding the mapping is
+            # safe: their pages stay valid until the last close.
             try:
                 Path(snapshot.handle.ref).unlink()
             except (FileNotFoundError, OSError):

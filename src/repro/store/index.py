@@ -1,0 +1,364 @@
+"""Pack and open label indexes as tiered out-of-core stores.
+
+:func:`pack_index_store` converts a built (or npz-saved) ``ppl`` /
+``parent-ppl`` index into the packed container of
+:mod:`repro.store.format`, deciding the tier split at pack time:
+
+* **hot** — the graph CSR, the landmark order, the label/tail offset
+  arrays, and the PR-5 dense hub-rank head matrix. Small, touched by
+  every query, pinned in RAM at open.
+* **cold** — the flat label rank/distance arrays (the scalar query
+  path) and the CSR tail of the batch kernel. The bulk of the index;
+  served block-by-block through the page cache.
+
+:func:`open_store_index` opens a packed store as a fully functional
+index of the *same family* (``method`` stays ``"ppl"`` /
+``"parent-ppl"``): per-vertex label rows become lazy sequences
+reading through the store, and the batch kernel's
+:class:`~repro.engine.batch.LabelArrays` is assembled over the
+store's cold tail directly, so both the scalar and the
+``distance_many`` paths fault in only the label windows a query
+touches. High-degree hub rows (``order[:hot_rows]``) are pinned —
+skewed real-world query mixes hit those rows constantly, and pinned
+blocks never evict.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..engine.batch import LabelArrays
+from ..engine.families import ParentPplPathIndex, PplPathIndex
+from ..errors import IndexFormatError
+from .cache import DEFAULT_BLOCK_BYTES, DEFAULT_CACHE_BYTES
+from .container import LabelStore
+from .format import DEFAULT_PAGE_BYTES, write_store
+
+__all__ = ["pack_index_store", "open_store_index", "StorePplIndex",
+           "StoreParentPplIndex", "STORE_METHODS",
+           "DEFAULT_HEAD_WIDTH", "DEFAULT_HOT_ROWS"]
+
+#: Families the packed store understands.
+STORE_METHODS = ("ppl", "parent-ppl")
+
+#: Head width at pack time. Narrower than the in-RAM kernel default on
+#: purpose: the head is hot-tier (always resident), so a packed store
+#: trades a little head coverage for a small pinned footprint.
+DEFAULT_HEAD_WIDTH = 32
+
+#: Hub label rows (by landmark order) pinned in RAM at open.
+DEFAULT_HOT_ROWS = 32
+
+
+# ----------------------------------------------------------------------
+# Packing
+# ----------------------------------------------------------------------
+
+def pack_index_store(source, path, *,
+                     head_width: int = DEFAULT_HEAD_WIDTH,
+                     hot_rows: int = DEFAULT_HOT_ROWS,
+                     page_bytes: int = DEFAULT_PAGE_BYTES
+                     ) -> Dict[str, Any]:
+    """Write ``source`` (an index or an npz archive path) as a packed
+    store at ``path``; returns the written header.
+
+    Only the label families pack (``ppl`` / ``parent-ppl``): their
+    state is already flat CSR arrays, which is exactly the layout a
+    paged store serves. Other families raise
+    :class:`~repro.errors.IndexFormatError`.
+    """
+    if hasattr(source, "to_state"):
+        method = source.method
+        _check_method(source, method)
+        state, arrays = source.to_state()
+    else:
+        from ..engine.persist import read_index_state
+
+        method, state, arrays = read_index_state(source)
+        _check_method(source, method)
+
+    offsets = np.asarray(arrays["label_offsets"], dtype=np.int64)
+    labels = LabelArrays.from_flat(
+        offsets,
+        np.asarray(arrays["label_ranks"]),
+        np.asarray(arrays["label_dists"]),
+        head_width=head_width)
+
+    packed: Dict[str, np.ndarray] = {
+        "indptr": np.asarray(arrays["indptr"]),
+        "indices": np.asarray(arrays["indices"]),
+        "order": np.asarray(arrays["order"], dtype=np.int64),
+        "label_offsets": offsets,
+        "head": labels.head,
+        "tail_offsets": labels.tail_offsets,
+        "label_ranks": np.asarray(arrays["label_ranks"],
+                                  dtype=np.int64),
+        "label_dists": np.asarray(arrays["label_dists"],
+                                  dtype=np.int32),
+        "tail_ranks": labels.tail_ranks,
+        "tail_dists": labels.tail_dists,
+    }
+    source_arrays = ["indptr", "indices", "order", "label_offsets",
+                     "label_ranks", "label_dists"]
+    if method == "parent-ppl":
+        packed["parent_offsets"] = np.asarray(arrays["parent_offsets"],
+                                              dtype=np.int64)
+        packed["parents"] = np.asarray(arrays["parents"],
+                                       dtype=np.int32)
+        source_arrays += ["parent_offsets", "parents"]
+
+    hot = ("indptr", "indices", "order", "label_offsets",
+           "tail_offsets", "head")
+    return write_store(
+        path, method=method, state=dict(state), arrays=packed,
+        hot=hot, source_arrays=source_arrays,
+        extra={
+            "head_width": int(labels.head_width),
+            "hot_rows": int(hot_rows),
+            "label_entries": int(offsets[-1]),
+            "num_vertices": int(len(offsets) - 1),
+        },
+        page_bytes=page_bytes)
+
+
+def _check_method(source, method: str) -> None:
+    if method not in STORE_METHODS:
+        raise IndexFormatError(
+            f"cannot pack a {method!r} index into a label store; "
+            f"supported families: {STORE_METHODS} "
+            f"(source: {source!r})")
+
+
+# ----------------------------------------------------------------------
+# Lazy label views (the scalar query path)
+# ----------------------------------------------------------------------
+
+class _LazyRagged(Sequence):
+    """Per-vertex label rows over ``(offsets, flat)`` store arrays.
+
+    ``rows[v]`` slices the flat cold array — one or two block faults —
+    and returns a plain ndarray the merge-join query code indexes as
+    it always has. Quacks like the list-of-lists the in-RAM families
+    hold, without ever materializing it.
+    """
+
+    __slots__ = ("_offsets", "_flat")
+
+    def __init__(self, offsets: np.ndarray, flat) -> None:
+        self._offsets = offsets
+        self._flat = flat
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, vertex):
+        if isinstance(vertex, slice):
+            raise TypeError("lazy label rows index by vertex only")
+        vertex = int(vertex)
+        if vertex < 0:
+            vertex += len(self)
+        if not 0 <= vertex < len(self):
+            raise IndexError(vertex)
+        return self._flat[int(self._offsets[vertex]):
+                          int(self._offsets[vertex + 1])]
+
+
+class _LazyParentsRow(Sequence):
+    """One vertex's per-entry parent tuples, read on demand."""
+
+    __slots__ = ("_base", "_count", "_parent_offsets", "_parents")
+
+    def __init__(self, base: int, count: int, parent_offsets,
+                 parents) -> None:
+        self._base = base
+        self._count = count
+        self._parent_offsets = parent_offsets
+        self._parents = parents
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            raise TypeError("parent rows index by entry only")
+        i = int(i)
+        if i < 0:
+            i += self._count
+        if not 0 <= i < self._count:
+            raise IndexError(i)
+        entry = self._base + i
+        bounds = self._parent_offsets[entry:entry + 2]
+        return tuple(
+            int(w) for w in
+            self._parents[int(bounds[0]):int(bounds[1])])
+
+
+class _LazyParents(Sequence):
+    """``label_parents[v][i]`` facade over the flat parent arrays."""
+
+    __slots__ = ("_offsets", "_parent_offsets", "_parents")
+
+    def __init__(self, offsets: np.ndarray, parent_offsets,
+                 parents) -> None:
+        self._offsets = offsets
+        self._parent_offsets = parent_offsets
+        self._parents = parents
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, vertex):
+        if isinstance(vertex, slice):
+            raise TypeError("lazy parents index by vertex only")
+        vertex = int(vertex)
+        if vertex < 0:
+            vertex += len(self)
+        if not 0 <= vertex < len(self):
+            raise IndexError(vertex)
+        base = int(self._offsets[vertex])
+        count = int(self._offsets[vertex + 1]) - base
+        return _LazyParentsRow(base, count, self._parent_offsets,
+                               self._parents)
+
+
+# ----------------------------------------------------------------------
+# Store-backed index families
+# ----------------------------------------------------------------------
+
+class _StoreIndexMixin:
+    """Shared store plumbing for the store-backed families.
+
+    The subclasses keep their family's ``method`` (they are *not*
+    re-registered): a store-backed ppl index answers exactly like a
+    ppl index, it just reads its labels through the store. Presetting
+    ``_label_arrays_cache`` routes the inherited ``distance_many``
+    (via :func:`~repro.engine.batch.cached_label_arrays`) straight to
+    the store-backed :class:`~repro.engine.batch.LabelArrays` — no
+    query-path overrides, no list materialization.
+    """
+
+    label_store: LabelStore
+
+    def _attach_store(self, store: LabelStore,
+                      label_arrays: LabelArrays) -> None:
+        self.label_store = store
+        self._label_offsets = store.array("label_offsets")
+        self._label_arrays_cache = (self.version, label_arrays)
+
+    def num_entries(self) -> int:
+        return int(self._label_offsets[-1])
+
+    def store_stats(self) -> Dict[str, Any]:
+        """Page-cache and tier counters (serving surfaces these)."""
+        return self.label_store.stats()
+
+    def close(self) -> None:
+        self.label_store.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class StorePplIndex(_StoreIndexMixin, PplPathIndex):
+    """A ``ppl`` index whose labels live in a packed store."""
+
+    def __init__(self, store: LabelStore, graph, order, label_ranks,
+                 label_dists, label_arrays: LabelArrays) -> None:
+        PplPathIndex.__init__(self, graph, order, label_ranks,
+                              label_dists)
+        self._attach_store(store, label_arrays)
+
+
+class StoreParentPplIndex(_StoreIndexMixin, ParentPplPathIndex):
+    """A ``parent-ppl`` index whose labels live in a packed store."""
+
+    def __init__(self, store: LabelStore, graph, order, label_ranks,
+                 label_dists, label_parents,
+                 label_arrays: LabelArrays) -> None:
+        ParentPplPathIndex.__init__(self, graph, order, label_ranks,
+                                    label_dists, label_parents)
+        self._attach_store(store, label_arrays)
+
+    def num_parent_slots(self) -> int:
+        return len(self.label_store.array("parents"))
+
+
+# ----------------------------------------------------------------------
+# Opening
+# ----------------------------------------------------------------------
+
+def open_store_index(source, *, io: str = "mmap",
+                     cache_bytes: int = DEFAULT_CACHE_BYTES,
+                     block_bytes: int = DEFAULT_BLOCK_BYTES,
+                     hot_rows: Optional[int] = None):
+    """Open a packed store (path or :class:`LabelStore`) as an index.
+
+    ``hot_rows`` overrides the pin count recorded at pack time: the
+    label rows of the ``hot_rows`` highest-ranked (highest-degree)
+    vertices are pinned in the page cache at open, exempt from
+    eviction.
+    """
+    from ..graph.csr import Graph
+
+    if isinstance(source, LabelStore):
+        store = source
+    else:
+        store = LabelStore.open(source, io=io,
+                                cache_bytes=cache_bytes,
+                                block_bytes=block_bytes)
+    method = store.method
+    if method not in STORE_METHODS:
+        raise IndexFormatError(
+            f"{store.path}: store holds a {method!r} index; only "
+            f"{STORE_METHODS} stores open as indexes")
+
+    graph = Graph(store.array("indptr"), store.array("indices"),
+                  validate=True)
+    order = store.array("order")
+    offsets = store.array("label_offsets")
+    label_ranks = _LazyRagged(offsets, store.array("label_ranks"))
+    label_dists = _LazyRagged(offsets, store.array("label_dists"))
+    labels = LabelArrays(store.array("head"),
+                         store.array("tail_offsets"),
+                         store.array("tail_ranks"),
+                         store.array("tail_dists"),
+                         num_ranks=len(offsets) - 1)
+
+    if method == "parent-ppl":
+        parents = _LazyParents(offsets,
+                               store.array("parent_offsets"),
+                               store.array("parents"))
+        index = StoreParentPplIndex(store, graph, order, label_ranks,
+                                    label_dists, parents, labels)
+    else:
+        index = StorePplIndex(store, graph, order, label_ranks,
+                              label_dists, labels)
+
+    if hot_rows is None:
+        hot_rows = int(store.header.get("hot_rows", DEFAULT_HOT_ROWS))
+    _pin_hub_rows(store, order, offsets, hot_rows)
+    return index
+
+
+def _pin_hub_rows(store: LabelStore, order, offsets,
+                  hot_rows: int) -> None:
+    """Pin the label rows of the top-ranked hub vertices.
+
+    Degree-ordered labellings concentrate traffic on the hubs — both
+    because skewed query mixes name them directly and because every
+    merge-join scans the low ranks first. Their rows are tiny next to
+    the cold tier, so pinning them buys a high floor on the hit rate.
+    """
+    for name in ("label_ranks", "label_dists"):
+        cold = store.array(name)
+        if not hasattr(cold, "pin_range"):  # pragma: no cover
+            continue
+        for vertex in np.asarray(order[:max(0, hot_rows)]).tolist():
+            cold.pin_range(int(offsets[vertex]),
+                           int(offsets[vertex + 1]))
