@@ -1,0 +1,174 @@
+"""Observability overhead benchmark — instrumentation must be ~free.
+
+Two acceptance numbers for the :mod:`repro.obs` subsystem, written to
+``BENCH_obs.json`` at the repo root (CI uploads it as an artifact):
+
+1. **Overhead** — the ``ppl`` batch-kernel query path (1024-pair
+   ``query_many`` batches, cache off, tracing off) with the default
+   enabled registry must run within **5%** of the same path under a
+   disabled registry (``MetricsRegistry(enabled=False)``, whose
+   instruments are shared no-ops). Reps alternate enabled/disabled so
+   thermal and allocator drift cancel; the compared statistic is the
+   per-rep median.
+2. **Stage coverage** — a cross-shard distance query on a sharded
+   index traced at rate 1.0 must produce a span tree whose direct
+   stages sum to within **10%** of the end-to-end latency (the
+   ``repro trace`` acceptance number), carrying the per-stage
+   breakdown (scalar dispatch, boundary gather, relay min-plus).
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import QueryOptions, build_index
+from repro.engine.session import QuerySession
+from repro.graph import barabasi_albert, stochastic_block
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.obs.trace import stage_totals
+from repro.workloads import sample_pairs
+
+GRAPH_N = 4_000
+GRAPH_M = 2
+GRAPH_SEED = 11
+
+BATCH_PAIRS = 1_024
+#: Alternating enabled/disabled reps (each timed over one batch).
+REPS_PER_SIDE = 15
+OVERHEAD_LIMIT = 0.05
+
+#: Sharded stage-coverage workload: three planted communities.
+SBM_SIZES = (900, 900, 900)
+SBM_P_IN = 0.01
+SBM_P_OUT = 0.001
+COVERAGE_PAIRS = 9
+COVERAGE_LIMIT = 0.10
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def ppl_index():
+    graph = barabasi_albert(GRAPH_N, GRAPH_M, seed=GRAPH_SEED)
+    return build_index(graph, "ppl")
+
+
+def _time_batch(index, pairs) -> float:
+    """One rep: fresh session (instruments bound to the registry that
+    is current *now*), one cache-less kernel batch, wall seconds."""
+    session = QuerySession(index, QueryOptions(mode="distance",
+                                               cache_size=0))
+    start = time.perf_counter()
+    session.query_many(pairs)
+    return time.perf_counter() - start
+
+
+@pytest.mark.timeout(900)
+def test_overhead_within_five_percent(ppl_index):
+    pairs = sample_pairs(ppl_index.graph, BATCH_PAIRS, seed=3)
+    enabled_registry = MetricsRegistry()
+    disabled_registry = MetricsRegistry(enabled=False)
+    previous = set_registry(enabled_registry)
+    enabled, disabled = [], []
+    try:
+        # Warm both paths (numpy pools, label pages) before timing.
+        _time_batch(ppl_index, pairs)
+        set_registry(disabled_registry)
+        _time_batch(ppl_index, pairs)
+        for _ in range(REPS_PER_SIDE):
+            set_registry(enabled_registry)
+            enabled.append(_time_batch(ppl_index, pairs))
+            set_registry(disabled_registry)
+            disabled.append(_time_batch(ppl_index, pairs))
+    finally:
+        set_registry(previous)
+    enabled_p50 = statistics.median(enabled)
+    disabled_p50 = statistics.median(disabled)
+    overhead = enabled_p50 / disabled_p50 - 1.0
+    # The enabled side really did record: one histogram observation
+    # and one counter bump per batch.
+    counters = enabled_registry.snapshot()["counters"]
+    assert counters["session_queries_total{mode=distance}"] == \
+        BATCH_PAIRS * (REPS_PER_SIDE + 1)
+    assert disabled_registry.render_prometheus().strip() == ""
+    _RESULTS["overhead"] = {
+        "batch_pairs": BATCH_PAIRS,
+        "reps_per_side": REPS_PER_SIDE,
+        "enabled_p50_ms": enabled_p50 * 1e3,
+        "disabled_p50_ms": disabled_p50 * 1e3,
+        "overhead_fraction": overhead,
+        "limit_fraction": OVERHEAD_LIMIT,
+    }
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"instrumented batch path is {overhead * 100:.2f}% slower "
+        f"than the disabled-registry baseline "
+        f"(limit {OVERHEAD_LIMIT * 100:.0f}%)")
+
+
+@pytest.mark.timeout(900)
+def test_cross_shard_stage_breakdown(tmp_path):
+    graph = stochastic_block(SBM_SIZES, SBM_P_IN, SBM_P_OUT, seed=5)
+    index = build_index(graph, "sharded",
+                        num_shards=len(SBM_SIZES), inner="ppl")
+    shard = index.partition.assignment
+    rng = np.random.default_rng(7)
+    pairs = []
+    while len(pairs) < COVERAGE_PAIRS:
+        u, v = (int(x) for x in rng.integers(0, graph.num_vertices, 2))
+        if shard[u] != shard[v]:
+            pairs.append((u, v))
+    session = QuerySession(index, QueryOptions(
+        mode="distance", cache_size=0, trace_sample=1.0))
+    # Warm the whole path once per pair so the measured traces see
+    # steady-state stage costs, then trace each pair.
+    for u, v in pairs:
+        session.query(u, v)
+    coverages, stage_ms = [], {}
+    for u, v in pairs:
+        session.query(u, v)
+        root = session.last_trace
+        covered = sum(child.elapsed for child in root.children)
+        coverages.append(covered / root.elapsed)
+        for name, seconds in stage_totals(root).items():
+            stage_ms.setdefault(name, []).append(seconds * 1e3)
+    coverage_p50 = statistics.median(coverages)
+    assert {"session.scalar", "shard.boundary",
+            "shard.relay"} <= set(stage_ms)
+    stage_seconds = get_registry().snapshot()["histograms"]
+    assert stage_seconds[
+        "stage_seconds{stage=shard.relay}"]["count"] >= len(pairs)
+    _RESULTS["stage_coverage"] = {
+        "graph": {"kind": "stochastic-block", "sizes": list(SBM_SIZES),
+                  "p_in": SBM_P_IN, "p_out": SBM_P_OUT},
+        "pairs": len(pairs),
+        "coverage_p50": coverage_p50,
+        "coverage_min": min(coverages),
+        "limit_fraction": COVERAGE_LIMIT,
+        "stage_ms_p50": {name: statistics.median(values)
+                         for name, values in sorted(stage_ms.items())},
+    }
+    assert 1.0 - coverage_p50 <= COVERAGE_LIMIT, (
+        f"stage sum covers only {coverage_p50 * 100:.1f}% of the "
+        f"end-to-end latency (must be within "
+        f"{COVERAGE_LIMIT * 100:.0f}%)")
+
+
+@pytest.mark.timeout(120)
+def test_write_bench_json():
+    """Writer test: runs last, persists everything gathered above."""
+    assert "overhead" in _RESULTS, "the overhead benchmark did not run"
+    assert "stage_coverage" in _RESULTS
+    payload = {
+        "graph": {"kind": "barabasi-albert", "num_vertices": GRAPH_N,
+                  "m": GRAPH_M, "seed": GRAPH_SEED},
+        **_RESULTS,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    assert BENCH_PATH.exists()

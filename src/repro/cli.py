@@ -46,6 +46,20 @@ Three kinds of commands:
   down gracefully: the batcher drains and the worker pool is joined
   (or terminated), so no orphaned worker processes survive Ctrl-C.
 
+* **stats** — run a query batch against a saved index and print the
+  metrics registry (counters, gauges, histogram summaries) the run
+  populated — the CLI view of what ``GET /metrics`` exposes::
+
+      python -m repro stats --index douban.idx --random 200 \\
+          --mode distance
+
+* **trace** — answer one query under a sampled trace and print the
+  span tree: per-stage wall times (session cache, kernel vs scalar
+  dispatch, shard local/boundary/relay hops, store page faults) plus
+  the stage-sum-vs-end-to-end coverage line::
+
+      python -m repro trace 17 42 --index douban.idx
+
 * **inspect** — print a saved index's header and array layout
   without loading it (works on npz archives and packed stores)::
 
@@ -256,6 +270,46 @@ def build_parser() -> argparse.ArgumentParser:
                                 "latency report, exit")
     serve_cmd.add_argument("--seed", type=int, default=0,
                            help="seed for the --smoke workload")
+    serve_cmd.add_argument("--trace-rate", type=float, default=0.0,
+                           metavar="R",
+                           help="per-batch trace sampling rate in "
+                                "[0, 1]; sampled batches populate the "
+                                "stage_seconds series on GET /metrics "
+                                "(adjustable at runtime via POST "
+                                "/trace)")
+    serve_cmd.add_argument("--slow-ms", type=float, default=None,
+                           metavar="MS",
+                           help="log queries slower than MS through "
+                                "the repro.slowlog logger (trace id + "
+                                "per-stage breakdown when sampled)")
+
+    stats_cmd = commands.add_parser(
+        "stats", help="run a query batch and print the metrics "
+                      "registry it populated")
+    stats_cmd.add_argument("--index", required=True,
+                           help="path written by the build command")
+    stats_cmd.add_argument("--mode", default="distance",
+                           choices=QUERY_MODES,
+                           help="what to compute per pair")
+    stats_cmd.add_argument("--random", type=int, default=200,
+                           metavar="N",
+                           help="random query pairs to run "
+                                "(default: 200)")
+    stats_cmd.add_argument("--seed", type=int, default=0,
+                           help="seed for pair sampling")
+    stats_cmd.add_argument("--cache", type=int, default=256,
+                           help="LRU result cache size (0: off)")
+
+    trace_cmd = commands.add_parser(
+        "trace", help="answer one query under a trace and print the "
+                      "span tree")
+    trace_cmd.add_argument("u", type=int, help="source vertex")
+    trace_cmd.add_argument("v", type=int, help="target vertex")
+    trace_cmd.add_argument("--index", required=True,
+                           help="path written by the build command")
+    trace_cmd.add_argument("--mode", default="distance",
+                           choices=QUERY_MODES,
+                           help="what to compute (default: distance)")
 
     inspect_cmd = commands.add_parser(
         "inspect", help="print a saved index's header and array "
@@ -326,6 +380,10 @@ def _dispatch(args) -> int:
         return _run_update(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "stats":
+        return _run_stats(args)
+    if args.experiment == "trace":
+        return _run_trace(args)
     if args.experiment == "inspect":
         return _run_inspect(args)
     if args.experiment == "store":
@@ -534,7 +592,8 @@ def _run_serve(args) -> int:
         raise ReproError("--smoke needs a positive request count")
     index = _load_serving_index(args)
     options = QueryOptions(mode=args.mode, cache_size=args.cache,
-                           time_budget=args.budget)
+                           time_budget=args.budget,
+                           slow_query_ms=args.slow_ms)
     with QueryService(index,
                       num_workers=args.workers,
                       options=options,
@@ -542,6 +601,8 @@ def _run_serve(args) -> int:
                       max_batch=args.batch,
                       max_delay=args.delay_ms / 1000.0,
                       max_pending=args.queue_depth) as service:
+        if args.trace_rate:
+            service.set_trace_rate(args.trace_rate)
         stats = service.stats()
         print(f"serving {stats['method']!r} index "
               f"(|V|={index.graph.num_vertices}) with "
@@ -566,8 +627,8 @@ def _run_serve(args) -> int:
         _serve_until_signalled(
             server,
             f"listening on http://{host}:{port} "
-            f"(POST /query, POST /update, GET /stats, GET /healthz; "
-            f"Ctrl-C to stop)")
+            f"(POST /query, POST /update, GET /stats, GET /metrics, "
+            f"GET/POST /trace, GET /healthz; Ctrl-C to stop)")
         print("draining batcher and stopping workers")
         # Falling out of the ``with`` closes the service: the batcher
         # drains its in-flight batches and the worker pool is joined
@@ -611,6 +672,74 @@ def _serve_until_signalled(server, ready_message: str) -> None:
             except (ValueError, OSError):  # pragma: no cover
                 pass
         server.server_close()
+
+
+def _run_stats(args) -> int:
+    from .obs import get_registry
+    from .workloads import sample_pairs
+
+    if args.random <= 0:
+        raise ReproError("--random needs a positive pair count")
+    index = load_index(args.index)
+    pairs = sample_pairs(index.graph, args.random, seed=args.seed)
+    session = QuerySession(index, QueryOptions(
+        mode=args.mode,
+        cache_size=args.cache,
+        collect_stats=True,
+    ))
+    report = session.run(pairs)
+    snap = get_registry().snapshot()
+    rows = [{"kind": "counter", "series": name, "value": value}
+            for name, value in sorted(snap["counters"].items())]
+    rows += [{"kind": "gauge", "series": name, "value": value}
+             for name, value in sorted(snap["gauges"].items())]
+    print(harness.format_rows(rows, columns=("kind", "series",
+                                             "value")))
+    histogram_rows = [{
+        "histogram": name,
+        "count": summary["count"],
+        "p50_ms": summary["p50"] * 1000.0,
+        "p99_ms": summary["p99"] * 1000.0,
+        "sum_ms": summary["sum"] * 1000.0,
+    } for name, summary in sorted(snap["histograms"].items())
+        if summary["count"]]
+    if histogram_rows:
+        print(harness.format_rows(
+            histogram_rows,
+            columns=("histogram", "count", "p50_ms", "p99_ms",
+                     "sum_ms")))
+    aggregate = report.aggregate_stats()
+    print(f"{aggregate['num_queries']} {args.mode} queries in "
+          f"{aggregate['elapsed_seconds'] * 1000.0:.2f}ms against "
+          f"{index.method!r}; the same series are served on "
+          f"GET /metrics under 'repro serve'")
+    return 0
+
+
+def _run_trace(args) -> int:
+    from .obs import format_span_tree
+
+    index = load_index(args.index)
+    num_vertices = index.graph.num_vertices
+    for vertex in (args.u, args.v):
+        if not 0 <= vertex < num_vertices:
+            raise ReproError(
+                f"vertex {vertex} out of range "
+                f"[0, {num_vertices})")
+    # Cache off, sampling 1.0: the second query is the printed trace;
+    # the first warms lazy state (page faults, allocator pools) so the
+    # tree reflects steady-state stage costs.
+    session = QuerySession(index, QueryOptions(
+        mode=args.mode, cache_size=0, trace_sample=1.0))
+    session.query(args.u, args.v)
+    record = session.query(args.u, args.v)
+    root = session.last_trace
+    if root is None:  # pragma: no cover - sampling 1.0 always traces
+        raise ReproError("query produced no trace")
+    print(format_span_tree(root))
+    print(f"{args.mode}({args.u}, {args.v}) = "
+          f"{_render_value(record.value)} on {index.method!r}")
+    return 0
 
 
 def _run_inspect(args) -> int:

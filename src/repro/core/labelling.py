@@ -28,10 +28,11 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .._util import NO_LABEL
+from .._util import NO_LABEL, Stopwatch
 from ..errors import IndexBuildError
 from ..graph.csr import Graph
 from ..graph.traversal import expand_frontier
+from ..obs import get_registry, span
 
 __all__ = ["PathLabelling", "build_labelling", "label_bfs"]
 
@@ -184,9 +185,18 @@ def build_labelling(graph: Graph, landmarks: np.ndarray) -> PathLabelling:
 
     label_matrix = np.full((n, len(landmarks)), NO_LABEL, dtype=np.uint8)
     meta: Dict[Tuple[int, int], int] = {}
-    for i, root in enumerate(landmarks):
-        hits = label_bfs(graph, int(root), is_landmark, label_matrix[:, i])
-        _merge_meta_edges(meta, position, int(root), hits)
+    root_seconds = get_registry().histogram(
+        "build_root_bfs_seconds",
+        help="Wall time of one labelled BFS from a landmark root.")
+    with span("build.root_bfs_loop", landmarks=len(landmarks)):
+        per_root = np.empty(len(landmarks), dtype=np.float64)
+        for i, root in enumerate(landmarks):
+            with Stopwatch() as sw:
+                hits = label_bfs(graph, int(root), is_landmark,
+                                 label_matrix[:, i])
+                _merge_meta_edges(meta, position, int(root), hits)
+            per_root[i] = sw.elapsed
+        root_seconds.observe_many(per_root)
     return PathLabelling(
         landmarks=landmarks,
         landmark_position=position,

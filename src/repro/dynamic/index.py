@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from .._util import UNREACHED
+from .._util import UNREACHED, Stopwatch
 from ..baselines.oracle import spg_oracle
 from ..core.spg import ShortestPathGraph
 from ..engine.base import PathIndex
@@ -55,6 +55,7 @@ from ..engine.registry import build_index, register_index
 from ..errors import IndexBuildError, IndexFormatError, QueryError
 from ..graph.csr import Graph
 from ..graph.traversal import bfs_distances
+from ..obs import get_registry, span
 from .delta import DeltaGraph, normalize_edge
 from .incremental import (
     MutableLabels,
@@ -106,6 +107,22 @@ class DynamicIndex(PathIndex):
             "inserts": 0, "removes": 0, "noops": 0, "rebuilds": 0,
             "validated_queries": 0, "fallback_queries": 0,
         }
+        # Registry mirrors of the local counters above: `_count` bumps
+        # both, so `stats` (absolute, persisted with the index) and the
+        # process-wide `/metrics` series stay in step.
+        registry = get_registry()
+        self._m_counters = {
+            key: registry.counter(f"dynamic_{key}_total",
+                                  help="Dynamic-index event counter.")
+            for key in self._counters}
+        self._m_update_seconds = registry.histogram(
+            "dynamic_update_seconds",
+            help="Wall time of one applied insert/remove repair.")
+
+    def _count(self, key: str) -> None:
+        """Bump a local counter and its process-registry mirror."""
+        self._counters[key] += 1
+        self._m_counters[key].inc()
 
     # ------------------------------------------------------------------
     # Construction
@@ -180,17 +197,20 @@ class DynamicIndex(PathIndex):
         Returns ``False`` when the edge was already present (a no-op).
         """
         if not self._delta.insert_edge(u, v):
-            self._counters["noops"] += 1
+            self._count("noops")
             return False
         self._version += 1
-        self._counters["inserts"] += 1
+        self._count("inserts")
         edge = normalize_edge(u, v)
-        if edge in self._phantom:
-            # A deleted edge coming back: the labels never stopped
-            # accounting for it, so un-poisoning it is the whole repair.
-            self._drop_phantom(edge)
-        else:
-            repair_insert(self._labels, self._label_neighbors, u, v)
+        with span("dynamic.insert_repair"), Stopwatch() as sw:
+            if edge in self._phantom:
+                # A deleted edge coming back: the labels never stopped
+                # accounting for it, so un-poisoning it is the whole
+                # repair.
+                self._drop_phantom(edge)
+            else:
+                repair_insert(self._labels, self._label_neighbors, u, v)
+        self._m_update_seconds.observe(sw.elapsed)
         self._bump_and_maybe_rebuild()
         return True
 
@@ -200,14 +220,16 @@ class DynamicIndex(PathIndex):
         Returns ``False`` when the edge was not present (a no-op).
         """
         if not self._delta.remove_edge(u, v):
-            self._counters["noops"] += 1
+            self._count("noops")
             return False
         self._version += 1
-        self._counters["removes"] += 1
+        self._count("removes")
         edge = normalize_edge(u, v)
-        self._phantom.add(edge)
-        self._phantom_adj.setdefault(edge[0], []).append(edge[1])
-        self._phantom_adj.setdefault(edge[1], []).append(edge[0])
+        with Stopwatch() as sw:
+            self._phantom.add(edge)
+            self._phantom_adj.setdefault(edge[0], []).append(edge[1])
+            self._phantom_adj.setdefault(edge[1], []).append(edge[0])
+        self._m_update_seconds.observe(sw.elapsed)
         self._bump_and_maybe_rebuild()
         return True
 
@@ -238,7 +260,8 @@ class DynamicIndex(PathIndex):
         """Rebuild the labels from the current snapshot, clearing the
         delta and every phantom edge."""
         snapshot = self._delta.snapshot()
-        self._inner = build_index(snapshot, self._family)
+        with span("dynamic.rebuild"):
+            self._inner = build_index(snapshot, self._family)
         self._labels = MutableLabels(
             self._inner._order, self._inner._label_ranks,
             self._inner._label_dists,
@@ -248,7 +271,7 @@ class DynamicIndex(PathIndex):
         self._phantom.clear()
         self._phantom_adj.clear()
         self._ops_since_rebuild = 0
-        self._counters["rebuilds"] += 1
+        self._count("rebuilds")
         # The labels were replaced wholesale (and the fresh
         # repaired-entries counter may coincide with the old one);
         # the batch kernel's flat-array cache must not outlive them.
@@ -375,12 +398,15 @@ class DynamicIndex(PathIndex):
             return d, True, None
         if not touches_phantom_edge(self._labels, u, v, d, self._phantom):
             return d, True, None
-        self._counters["validated_queries"] += 1
-        levels = guided_levels(self._labels, self._delta.neighbors, u, v, d)
+        self._count("validated_queries")
+        with span("dynamic.validate"):
+            levels = guided_levels(self._labels, self._delta.neighbors,
+                                   u, v, d)
         if levels.get(v) == d:
             return d, True, levels
-        self._counters["fallback_queries"] += 1
-        fallback = int(bfs_distances(self._delta.snapshot(), u)[v])
+        self._count("fallback_queries")
+        with span("dynamic.fallback_bfs"):
+            fallback = int(bfs_distances(self._delta.snapshot(), u)[v])
         return (None if fallback == UNREACHED else fallback), False, None
 
     def query(self, u: int, v: int) -> ShortestPathGraph:

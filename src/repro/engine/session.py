@@ -41,6 +41,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from .._util import Stopwatch
 from ..core.search import SearchStats
 from ..errors import QueryError
+from ..obs import get_registry, log_slow_query, span, start_trace
+from ..obs.trace import Span, TraceSampler
 from .base import PathIndex
 
 __all__ = ["QueryOptions", "QueryRecord", "BatchReport", "QuerySession",
@@ -90,12 +92,25 @@ class QueryOptions:
         provides them (``"spg"``/``"count-paths"`` modes only).
     cache_size:
         Capacity of the LRU result cache; ``0`` disables caching.
+    trace_sample:
+        Fraction of queries (scalar) / batches (bulk) executed under
+        a :mod:`repro.obs` trace: per-stage spans feed the
+        ``stage_seconds`` histograms and the last sampled trace is
+        kept on :attr:`QuerySession.last_trace`. Sampling is
+        deterministic (every ``1/rate``-th query); ``0`` (the
+        default) skips tracing entirely on a no-op fast path.
+    slow_query_ms:
+        Log executed queries slower than this many milliseconds to
+        the ``repro.slowlog`` logger, with the trace id and per-stage
+        breakdown when the query was sampled. ``None`` disables.
     """
 
     mode: str = "spg"
     time_budget: Optional[float] = None
     collect_stats: bool = False
     cache_size: int = 0
+    trace_sample: float = 0.0
+    slow_query_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in QUERY_MODES:
@@ -107,6 +122,10 @@ class QueryOptions:
             raise QueryError("cache_size must be >= 0")
         if self.time_budget is not None and self.time_budget <= 0:
             raise QueryError("time_budget must be positive")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise QueryError("trace_sample must be in [0, 1]")
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise QueryError("slow_query_ms must be >= 0")
 
 
 @dataclass
@@ -214,6 +233,29 @@ class QuerySession:
         self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
+        # Registry instruments are resolved once here; the hot paths
+        # below only pay one locked `+=` per event (or per batch).
+        registry = get_registry()
+        self._m_cache_hits = registry.counter(
+            "session_cache_hits_total",
+            help="Session LRU result-cache hits (incl. batch dedup).")
+        self._m_cache_misses = registry.counter(
+            "session_cache_misses_total",
+            help="Session LRU result-cache misses.")
+        self._m_queries = {
+            mode: registry.counter("session_queries_total",
+                                   help="Queries accepted by sessions.",
+                                   mode=mode)
+            for mode in QUERY_MODES}
+        self._m_seconds = {
+            mode: registry.histogram(
+                "session_query_seconds",
+                help="Per-call session execution time (one kernel "
+                     "call for a distance batch).", mode=mode)
+            for mode in QUERY_MODES}
+        self._sampler = TraceSampler(self.options.trace_sample)
+        #: Root span of the most recent sampled trace (CLI/debugging).
+        self.last_trace: Optional[Span] = None
 
     @property
     def index(self) -> PathIndex:
@@ -256,27 +298,44 @@ class QuerySession:
         cached.
         """
         mode = self._resolve_mode(mode)
+        if self._sampler.should_sample():
+            with start_trace("query", u=u, v=v, mode=mode) as root:
+                record = self._query_inner(u, v, mode)
+            self.last_trace = root
+            self._maybe_slow(record, root)
+            return record
+        record = self._query_inner(u, v, mode)
+        self._maybe_slow(record, None)
+        return record
+
+    def _query_inner(self, u: int, v: int, mode: str) -> QueryRecord:
         options = self.options
         key = self._cache_key(u, v, mode)
+        self._m_queries[mode].inc()
         if options.cache_size:
-            with self._cache_lock:
-                if key in self._cache:
-                    self._cache.move_to_end(key)
-                    self._cache_hits += 1
-                    return QueryRecord(u=u, v=v, value=self._cache[key],
-                                       seconds=0.0, cached=True,
-                                       mode=mode)
-                self._cache_misses += 1
+            with span("session.cache"):
+                with self._cache_lock:
+                    if key in self._cache:
+                        self._cache.move_to_end(key)
+                        self._cache_hits += 1
+                        self._m_cache_hits.inc()
+                        return QueryRecord(
+                            u=u, v=v, value=self._cache[key],
+                            seconds=0.0, cached=True, mode=mode)
+                    self._cache_misses += 1
+                    self._m_cache_misses.inc()
         stats = None
-        with Stopwatch() as sw:
-            if mode == "distance":
-                value = self._index.distance(u, v)
-            else:
-                if options.collect_stats:
-                    spg, stats = self._index.query_with_stats(u, v)
+        with span("session.scalar", mode=mode):
+            with Stopwatch() as sw:
+                if mode == "distance":
+                    value = self._index.distance(u, v)
                 else:
-                    spg = self._index.query(u, v)
-                value = spg if mode == "spg" else spg.count_paths()
+                    if options.collect_stats:
+                        spg, stats = self._index.query_with_stats(u, v)
+                    else:
+                        spg = self._index.query(u, v)
+                    value = spg if mode == "spg" else spg.count_paths()
+        self._m_seconds[mode].observe(sw.elapsed)
         if options.cache_size:
             with self._cache_lock:
                 self._cache[key] = value
@@ -284,6 +343,16 @@ class QuerySession:
                     self._cache.popitem(last=False)
         return QueryRecord(u=u, v=v, value=value, seconds=sw.elapsed,
                            stats=stats, mode=mode)
+
+    def _maybe_slow(self, record: QueryRecord,
+                    root: Optional[Span]) -> None:
+        threshold = self.options.slow_query_ms
+        if threshold is None or record.cached:
+            return
+        elapsed_ms = record.seconds * 1000.0
+        if elapsed_ms >= threshold:
+            log_slow_query(record.u, record.v, record.mode,
+                           elapsed_ms, threshold, root)
 
     def query_many(self, pairs: Iterable[Tuple[int, int]],
                    mode: Optional[str] = None) -> List[QueryRecord]:
@@ -302,41 +371,71 @@ class QuerySession:
         """
         mode = self._resolve_mode(mode)
         pairs = [(int(u), int(v)) for u, v in pairs]
+        if self._sampler.should_sample():
+            with start_trace("query_many", mode=mode,
+                             pairs=len(pairs)) as root:
+                records = self._query_many_inner(pairs, mode)
+            self.last_trace = root
+            if self.options.slow_query_ms is not None:
+                for record in records:
+                    self._maybe_slow(record, root)
+            return records
+        records = self._query_many_inner(pairs, mode)
+        if self.options.slow_query_ms is not None:
+            for record in records:
+                self._maybe_slow(record, None)
+        return records
+
+    def _query_many_inner(self, pairs: List[Tuple[int, int]],
+                          mode: str) -> List[QueryRecord]:
         if mode != "distance":
-            return [self.query(u, v, mode=mode) for u, v in pairs]
+            return [self._query_inner(u, v, mode) for u, v in pairs]
         options = self.options
+        self._m_queries[mode].inc(len(pairs))
         keys = [self._cache_key(u, v, mode) for u, v in pairs]
         records: List[Optional[QueryRecord]] = [None] * len(pairs)
         misses: "OrderedDict[Tuple[int, int, str, int], List[int]]" = \
             OrderedDict()
         if options.cache_size:
-            with self._cache_lock:
-                for i, key in enumerate(keys):
-                    if key in self._cache:
-                        self._cache.move_to_end(key)
-                        self._cache_hits += 1
-                        u, v = pairs[i]
-                        records[i] = QueryRecord(
-                            u=u, v=v, value=self._cache[key],
-                            seconds=0.0, cached=True, mode=mode)
-                    elif key in misses:
-                        # Answered by this batch's own deduplication
-                        # without touching the index — a hit, exactly
-                        # as the scalar path would have scored it one
-                        # query later (and as the record reports it).
-                        self._cache_hits += 1
-                        misses[key].append(i)
-                    else:
-                        self._cache_misses += 1
-                        misses[key] = [i]
+            batch_hits = batch_misses = 0
+            with span("session.cache", pairs=len(pairs)):
+                with self._cache_lock:
+                    for i, key in enumerate(keys):
+                        if key in self._cache:
+                            self._cache.move_to_end(key)
+                            self._cache_hits += 1
+                            batch_hits += 1
+                            u, v = pairs[i]
+                            records[i] = QueryRecord(
+                                u=u, v=v, value=self._cache[key],
+                                seconds=0.0, cached=True, mode=mode)
+                        elif key in misses:
+                            # Answered by this batch's own
+                            # deduplication without touching the index
+                            # — a hit, exactly as the scalar path
+                            # would have scored it one query later
+                            # (and as the record reports it).
+                            self._cache_hits += 1
+                            batch_hits += 1
+                            misses[key].append(i)
+                        else:
+                            self._cache_misses += 1
+                            batch_misses += 1
+                            misses[key] = [i]
+            if batch_hits:
+                self._m_cache_hits.inc(batch_hits)
+            if batch_misses:
+                self._m_cache_misses.inc(batch_misses)
         else:
             for i, key in enumerate(keys):
                 misses.setdefault(key, []).append(i)
         if misses:
             kernel_pairs = [(key[0], key[1]) for key in misses]
-            with Stopwatch() as sw:
-                values = self._index.distance_many(kernel_pairs)
+            with span("session.kernel", pairs=len(kernel_pairs)):
+                with Stopwatch() as sw:
+                    values = self._index.distance_many(kernel_pairs)
             share = sw.elapsed / len(kernel_pairs)
+            self._m_seconds[mode].observe(sw.elapsed)
             if options.cache_size:
                 with self._cache_lock:
                     for key, value in zip(misses, values):

@@ -1,0 +1,57 @@
+"""Observability layer: metrics registry, span tracer, slow-query log.
+
+See :mod:`repro.obs.registry` for the metrics model (counters, gauges,
+numpy-backed histograms, fork-aware deltas, Prometheus rendering) and
+:mod:`repro.obs.trace` for span-based tracing with a zero-cost
+untraced path. Everything instruments against the process default
+registry (:func:`get_registry`); swap it with :func:`set_registry`
+(e.g. a ``MetricsRegistry(enabled=False)`` to measure uninstrumented
+baselines).
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    register_page_cache,
+    set_registry,
+)
+from .slowlog import SLOWLOG, log_slow_query
+from .trace import (
+    Span,
+    TraceSampler,
+    current_add,
+    current_attr,
+    current_span,
+    format_span_tree,
+    span,
+    stage_breakdown,
+    stage_totals,
+    start_trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "register_page_cache",
+    "SLOWLOG",
+    "log_slow_query",
+    "Span",
+    "TraceSampler",
+    "start_trace",
+    "span",
+    "current_span",
+    "current_add",
+    "current_attr",
+    "format_span_tree",
+    "stage_totals",
+    "stage_breakdown",
+]

@@ -1,0 +1,45 @@
+"""Structured slow-query log.
+
+Queries that exceed their session's ``slow_query_ms`` threshold are
+logged as warnings on the ``repro.slowlog`` logger. Each record is one
+line of ``key=value`` fields followed by the per-stage breakdown, so
+it greps cleanly and parses trivially:
+
+    slow_query trace=1a2b-000003 u=17 v=9242 mode=distance \\
+        ms=12.41 threshold_ms=5.0 \\
+        stages=session.cache:0.01,session.kernel:12.38
+
+Stage data comes from the sampled trace when one is active; untraced
+slow queries still log the envelope (``stages=-``). The logger is a
+plain stdlib logger — applications route/format it like any other
+(the HTTP server and CLI leave default handlers in place).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from .trace import Span, stage_breakdown
+
+__all__ = ["SLOWLOG", "log_slow_query"]
+
+SLOWLOG = logging.getLogger("repro.slowlog")
+
+
+def log_slow_query(u: int, v: int, mode: str, elapsed_ms: float,
+                   threshold_ms: float,
+                   root: Optional[Span] = None) -> None:
+    """Emit one slow-query record (see module docstring for shape)."""
+    if root is not None:
+        stages = ",".join(
+            f"{row['stage']}:{row['ms']:.2f}"
+            for row in stage_breakdown(root)) or "-"
+        trace_id = root.trace_id
+    else:
+        stages = "-"
+        trace_id = "-"
+    SLOWLOG.warning(
+        "slow_query trace=%s u=%d v=%d mode=%s ms=%.2f "
+        "threshold_ms=%s stages=%s",
+        trace_id, u, v, mode, elapsed_ms, threshold_ms, stages)

@@ -1,0 +1,304 @@
+"""Span-based tracing for the query and build paths.
+
+A *trace* is a tree of :class:`Span` objects rooted by
+:func:`start_trace`; instrumented code opens children with
+:func:`span`. The design point is the **no-op fast path**: when no
+trace is active (the overwhelmingly common case — sampling defaults
+to 0), ``span(...)`` returns a shared reusable context manager whose
+``__enter__``/``__exit__`` do nothing, so instrumentation sites cost
+two dict-free attribute lookups and no allocation.
+
+When a trace *is* active:
+
+* each ``span`` records wall time (``time.perf_counter``), free-form
+  attributes, and nested children;
+* on close, the span's elapsed time is observed into the registry's
+  ``stage_seconds{stage=<name>}`` histogram — stage latency series
+  therefore populate **only for sampled queries**, which is what makes
+  a low sampling rate cheap;
+* :func:`current_add` lets leaf code (the store page cache) attach
+  counts to whatever span is open (e.g. page faults during a label
+  read) without knowing about the trace structure.
+
+Nesting uses a :class:`contextvars.ContextVar`, so traces are correct
+across threads (the Batcher's dispatcher/collector threads never see
+a request thread's trace) and cheap to consult.
+
+Sampling is deterministic, not random: :class:`TraceSampler` carries
+an accumulator that adds ``rate`` per decision and fires when it
+crosses 1 — ``rate=0.25`` traces exactly every 4th query, ``rate=1``
+every query. Deterministic sampling keeps tests exact and spreads
+samples evenly under load.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .registry import get_registry
+
+__all__ = [
+    "Span", "TraceSampler", "start_trace", "span", "current_span",
+    "current_add", "current_attr", "format_span_tree", "stage_totals",
+    "stage_breakdown",
+]
+
+#: Histogram fed by every closed span of a sampled trace.
+STAGE_SECONDS = "stage_seconds"
+
+_trace_counter = itertools.count(1)
+_counter_lock = threading.Lock()
+
+
+def _next_trace_id() -> str:
+    with _counter_lock:
+        serial = next(_trace_counter)
+    return f"{os.getpid():x}-{serial:06x}"
+
+
+class Span:
+    """One timed stage; spans nest into a tree under a trace root."""
+
+    __slots__ = ("name", "trace_id", "attrs", "counts", "children",
+                 "_start", "elapsed", "parent")
+
+    def __init__(self, name: str, trace_id: str,
+                 parent: Optional["Span"] = None,
+                 **attrs: Any) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.parent = parent
+        self.attrs: Dict[str, Any] = dict(attrs)
+        self.counts: Dict[str, float] = {}
+        self.children: List[Span] = []
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self.counts[key] = self.counts.get(key, 0.0) + amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.elapsed * 1e3:.3f}ms, "
+                f"children={len(self.children)})")
+
+
+_current: contextvars.ContextVar[Optional[Span]] = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+
+class _NoopSpan:
+    """Shared placeholder returned when no trace is active."""
+
+    __slots__ = ()
+    name = "noop"
+    elapsed = 0.0
+    children: List[Span] = []
+    attrs: Dict[str, Any] = {}
+    counts: Dict[str, float] = {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager wrapping one child span of the live trace."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span_obj: Span) -> None:
+        self._span = span_obj
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _current.set(self._span)
+        self._span._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        span_obj = self._span
+        span_obj.elapsed = time.perf_counter() - span_obj._start
+        _current.reset(self._token)
+        get_registry().histogram(
+            STAGE_SECONDS, stage=span_obj.name).observe(
+            span_obj.elapsed)
+        return None
+
+
+class _RootSpan:
+    """Context manager for the trace root from :func:`start_trace`."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, span_obj: Span) -> None:
+        self._span = span_obj
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _current.set(self._span)
+        self._span._start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        span_obj = self._span
+        span_obj.elapsed = time.perf_counter() - span_obj._start
+        _current.reset(self._token)
+        return None
+
+
+def start_trace(name: str, **attrs: Any):
+    """Open a new trace root; use as ``with start_trace(...) as root:``.
+
+    The root itself is *not* observed into ``stage_seconds`` — it is
+    the end-to-end envelope the stage spans are compared against.
+    """
+    return _RootSpan(Span(name, _next_trace_id(), **attrs))
+
+
+def span(name: str, **attrs: Any):
+    """A child span of the active trace, or a shared no-op."""
+    parent = _current.get()
+    if parent is None:
+        return _NOOP_SPAN
+    child = Span(name, parent.trace_id, parent=parent, **attrs)
+    parent.children.append(child)
+    return _ActiveSpan(child)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or None outside any trace."""
+    return _current.get()
+
+
+def current_add(key: str, amount: float = 1.0) -> None:
+    """Attach a count to the innermost open span (no-op untraced)."""
+    open_span = _current.get()
+    if open_span is not None:
+        open_span.add(key, amount)
+
+
+def current_attr(key: str, value: Any) -> None:
+    """Attach an attribute to the innermost open span."""
+    open_span = _current.get()
+    if open_span is not None:
+        open_span.attrs[key] = value
+
+
+class TraceSampler:
+    """Deterministic accumulator sampler (see module docstring)."""
+
+    __slots__ = ("_rate", "_accum", "_lock")
+
+    def __init__(self, rate: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self.set_rate(rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"trace sample rate must be in [0, 1], got {rate}")
+        with self._lock:
+            self._rate = rate
+            self._accum = 0.0
+
+    def should_sample(self) -> bool:
+        if self._rate <= 0.0:
+            return False
+        with self._lock:
+            self._accum += self._rate
+            if self._accum >= 1.0:
+                self._accum -= 1.0
+                return True
+            return False
+
+
+# ----------------------------------------------------------------------
+# Rendering and roll-ups
+# ----------------------------------------------------------------------
+
+def _walk(span_obj: Span, depth: int, out: List[str]) -> None:
+    pieces = [f"{'  ' * depth}{span_obj.name:<{max(1, 28 - 2 * depth)}}"
+              f" {span_obj.elapsed * 1e3:9.3f} ms"]
+    extras = []
+    for key, value in span_obj.attrs.items():
+        extras.append(f"{key}={value}")
+    for key, value in span_obj.counts.items():
+        formatted = int(value) if float(value).is_integer() else value
+        extras.append(f"{key}={formatted}")
+    if extras:
+        pieces.append("  [" + " ".join(extras) + "]")
+    out.append("".join(pieces))
+    for child in span_obj.children:
+        _walk(child, depth + 1, out)
+
+
+def format_span_tree(root: Span) -> str:
+    """Indented text rendering of a finished trace.
+
+    Includes the trace id, the per-span timing tree, and a coverage
+    line: the sum of the root's direct children against the root's
+    end-to-end elapsed time (the ``repro trace`` acceptance number).
+    """
+    lines = [f"trace {root.trace_id}"]
+    _walk(root, 0, lines)
+    covered = sum(child.elapsed for child in root.children)
+    if root.elapsed > 0:
+        lines.append(
+            f"stage sum {covered * 1e3:.3f} ms / end-to-end "
+            f"{root.elapsed * 1e3:.3f} ms "
+            f"({100.0 * covered / root.elapsed:.1f}% covered)")
+    return "\n".join(lines)
+
+
+def stage_totals(root: Span) -> Dict[str, float]:
+    """Elapsed seconds per span name, summed over the whole tree."""
+    totals: Dict[str, float] = {}
+
+    def visit(span_obj: Span) -> None:
+        totals[span_obj.name] = totals.get(span_obj.name, 0.0) \
+            + span_obj.elapsed
+        for child in span_obj.children:
+            visit(child)
+
+    for child in root.children:
+        visit(child)
+    return totals
+
+
+def stage_breakdown(root: Span) -> List[Dict[str, Any]]:
+    """Flat per-stage summary rows for logs (name, ms, counts)."""
+    rows: List[Dict[str, Any]] = []
+
+    def visit(span_obj: Span, depth: int) -> None:
+        row: Dict[str, Any] = {
+            "stage": span_obj.name,
+            "ms": round(span_obj.elapsed * 1e3, 4),
+            "depth": depth,
+        }
+        if span_obj.counts:
+            row["counts"] = dict(span_obj.counts)
+        rows.append(row)
+        for child in span_obj.children:
+            visit(child, depth + 1)
+
+    for child in root.children:
+        visit(child, 0)
+    return rows

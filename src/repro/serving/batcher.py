@@ -39,6 +39,7 @@ once against the current snapshot before failing their futures.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
@@ -51,10 +52,22 @@ from ..errors import (
     ServiceOverloadedError,
     ServingError,
 )
+from ..obs import get_registry
+from ..obs.trace import TraceSampler
 from .pool import BatchMessage, BatchResponse, PairError, WorkerPool
 from .snapshot import SnapshotHandle
 
 __all__ = ["Batcher", "Answer"]
+
+_log = logging.getLogger("repro.serving")
+
+#: ``counters`` keys whose registry mirror keeps a bespoke name (the
+#: respawn/retry series the observability issue names explicitly);
+#: every other key mirrors as ``serving_<key>_total``.
+_COUNTER_SERIES = {
+    "worker_deaths": "serving_worker_respawns_total",
+    "retries": "serving_retirement_retries_total",
+}
 
 
 class Answer(NamedTuple):
@@ -70,6 +83,9 @@ class _Entry:
 
     futures: List[Future] = field(default_factory=list)
     deadline: Optional[float] = None
+    #: ``time.monotonic()`` of the first caller's admission; feeds the
+    #: ``serving_request_seconds`` end-to-end latency histogram.
+    submitted: float = 0.0
 
 
 @dataclass
@@ -142,6 +158,29 @@ class Batcher:
             "batches": 0, "retries": 0, "worker_seconds": 0.0,
             "worker_cache_hits": 0, "worker_deaths": 0,
         }
+        # Every key above also mirrors into the process registry
+        # (`_count` bumps both), so the legacy `stats()` dict and
+        # `/metrics` report the same numbers by construction.
+        registry = get_registry()
+        self._registry = registry
+        self._m_counters = {
+            key: registry.counter(
+                _COUNTER_SERIES.get(key, f"serving_{key}_total"),
+                help="Serving batcher counter.")
+            for key in self.counters}
+        # Mirror values at construction: the registry instruments are
+        # process-global, so a second Batcher in the same process must
+        # report only its own increments, not the process lifetime's.
+        self._m_base = {key: instrument.value
+                        for key, instrument in self._m_counters.items()}
+        self._m_request_seconds = registry.histogram(
+            "serving_request_seconds",
+            help="Admission-to-resolution latency of one "
+                 "deduplicated request key.")
+        #: Per-batch trace sampling (the HTTP front-end's knob): a
+        #: sampled batch is answered under a trace in its worker, and
+        #: the stage histograms ride back in the metrics deltas.
+        self.trace_sampler = TraceSampler(0.0)
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, daemon=True,
             name="repro-serving-dispatcher")
@@ -150,6 +189,11 @@ class Batcher:
             name="repro-serving-collector")
         self._dispatcher.start()
         self._collector.start()
+
+    def _count(self, key: str, amount: float = 1) -> None:
+        """Bump a legacy counter and its registry mirror together."""
+        self.counters[key] += amount
+        self._m_counters[key].inc(amount)
 
     # ------------------------------------------------------------------
     # Client surface
@@ -167,14 +211,14 @@ class Batcher:
             if self._closed:
                 raise ServingError("batcher is closed")
             if self._pending >= self.max_pending:
-                self.counters["rejected"] += 1
+                self._count("rejected")
                 raise ServiceOverloadedError(
                     f"serving queue is full "
                     f"({self._pending} requests pending, "
                     f"limit {self.max_pending}); retry later"
                 )
             self._pending += 1
-            self.counters["submitted"] += 1
+            self._count("submitted")
             self._enqueue_locked(mode, u, v, future, deadline, now)
         return future
 
@@ -195,14 +239,14 @@ class Batcher:
             if self._closed:
                 raise ServingError("batcher is closed")
             if self._pending + len(pairs) > self.max_pending:
-                self.counters["rejected"] += len(pairs)
+                self._count("rejected", len(pairs))
                 raise ServiceOverloadedError(
                     f"burst of {len(pairs)} does not fit "
                     f"({self._pending} requests pending, "
                     f"limit {self.max_pending}); retry later"
                 )
             self._pending += len(pairs)
-            self.counters["submitted"] += len(pairs)
+            self._count("submitted", len(pairs))
             for u, v in pairs:
                 future: "Future[Answer]" = Future()
                 futures.append(future)
@@ -226,10 +270,10 @@ class Batcher:
             self._wake.notify()
         entry = batch.entries.get((u, v))
         if entry is None:
-            entry = _Entry(deadline=deadline)
+            entry = _Entry(deadline=deadline, submitted=now)
             batch.entries[(u, v)] = entry
         else:
-            self.counters["deduplicated"] += 1
+            self._count("deduplicated")
             if deadline is not None:
                 entry.deadline = max(entry.deadline or 0.0, deadline)
         entry.futures.append(future)
@@ -255,9 +299,27 @@ class Batcher:
         return True
 
     def stats(self) -> Dict[str, object]:
+        """Legacy counter keys, read back from their registry mirrors.
+
+        The keys predate the metrics registry and are kept as aliases;
+        the values come from the registry instruments (less the value
+        each held when this batcher was constructed, so a fresh
+        service on a long-lived registry starts from zero), meaning
+        `/stats` and `/metrics` cannot drift apart. With a disabled
+        registry the mirrors are no-ops, so the plain dict serves as
+        the fallback.
+        """
         with self._lock:
+            if self._registry.enabled:
+                counters = {}
+                for key, instrument in self._m_counters.items():
+                    value = instrument.value - self._m_base[key]
+                    counters[key] = (value if key == "worker_seconds"
+                                     else int(value))
+            else:
+                counters = dict(self.counters)
             return {
-                **self.counters,
+                **counters,
                 "pending": self._pending,
                 "inflight_batches": len(self._inflight),
             }
@@ -356,9 +418,10 @@ class Batcher:
         handle = self._handle_provider()
         self._inflight[batch_id] = _InFlight(mode=mode, keys=keys,
                                              entries=live)
-        self.counters["batches"] += 1
-        self._pool.submit(BatchMessage(batch_id, handle, mode,
-                                       tuple(keys)))
+        self._count("batches")
+        self._pool.submit(BatchMessage(
+            batch_id, handle, mode, tuple(keys),
+            trace=self.trace_sampler.should_sample()))
 
     # ------------------------------------------------------------------
     # Collection (pool -> futures)
@@ -375,6 +438,14 @@ class Batcher:
                     continue
                 if not isinstance(response, BatchResponse):
                     continue  # readiness report of a respawned worker
+                if response.metrics:
+                    # Fold the worker's registry increments into the
+                    # parent registry. Deltas are flushed per response
+                    # and re-based in the worker, so each event lands
+                    # here exactly once — even across respawns (a
+                    # fresh worker discards its inherited baseline
+                    # before its first batch).
+                    self._registry.merge(response.metrics)
                 inflight = self._inflight.pop(response.batch_id, None)
                 if inflight is None:  # resolved by close()
                     continue
@@ -384,12 +455,12 @@ class Batcher:
                                                     response.error)
                 else:
                     self._resolve_locked(inflight, response)
-                    self.counters["worker_cache_hits"] += \
-                        response.cache_hits
+                    self._count("worker_cache_hits",
+                                response.cache_hits)
                     if response.store is not None:
                         self._store_stats[response.worker_id] = \
                             response.store
-                self.counters["worker_seconds"] += response.seconds
+                self._count("worker_seconds", response.seconds)
                 self._wake.notify_all()
 
     def _reap_dead_workers_locked(self) -> None:
@@ -408,7 +479,12 @@ class Batcher:
         respawned = pool.respawn(handle)
         if not respawned:
             return
-        self.counters["worker_deaths"] += respawned
+        self._count("worker_deaths", len(respawned))
+        _log.warning(
+            "worker_respawn workers=%s epoch=%d inflight_batches=%d "
+            "alive=%d/%d",
+            ",".join(map(str, respawned)), handle.epoch,
+            len(self._inflight), pool.alive_workers, pool.num_workers)
         inflight, self._inflight = self._inflight, {}
         for batch in inflight.values():
             new_id = next(self._batch_ids)
@@ -424,11 +500,15 @@ class Batcher:
             # snapshot was retired mid-flight); one retry against the
             # current handle resolves those.
             inflight.retried = True
-            self.counters["retries"] += 1
+            self._count("retries")
+            handle = self._handle_provider()
+            _log.warning(
+                "batch_retry batch=%d epoch=%d keys=%d error=%s",
+                batch_id, handle.epoch, len(inflight.keys), error)
             new_id = next(self._batch_ids)
             self._inflight[new_id] = inflight
             self._pool.submit(BatchMessage(
-                new_id, self._handle_provider(), inflight.mode,
+                new_id, handle, inflight.mode,
                 tuple(inflight.keys)))
             return
         failure = ServingError(f"batch failed in worker: {error}")
@@ -450,9 +530,11 @@ class Batcher:
                     f"time budget"), expired=True)
                 continue
             answer = Answer(value, response.epoch)
+            if entry.submitted:
+                self._m_request_seconds.observe(now - entry.submitted)
             for future in entry.futures:
                 self._pending -= 1
-                self.counters["answered"] += 1
+                self._count("answered")
                 try:
                     future.set_result(answer)
                 except InvalidStateError:  # caller cancelled
@@ -462,7 +544,7 @@ class Batcher:
                            expired: bool = False) -> None:
         for future in entry.futures:
             self._pending -= 1
-            self.counters["expired" if expired else "failed"] += 1
+            self._count("expired" if expired else "failed")
             try:
                 future.set_exception(error)
             except InvalidStateError:

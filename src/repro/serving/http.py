@@ -16,6 +16,17 @@ Endpoints:
     the reply carries a ``"label_store"`` sub-object with the
     fleet-aggregated out-of-core store counters: page-cache hits /
     misses / evictions, resident bytes, and the hot-tier fraction.
+    The counters are read from the metrics registry, so this endpoint
+    and ``/metrics`` agree by construction.
+``GET /metrics``
+    Prometheus text exposition (``text/plain; version=0.0.4``): every
+    registry series — session caches, kernel/scalar dispatch, shard
+    relays, store page faults, build phases, the serving tier — plus
+    service gauges (pending requests, alive workers, epoch).
+``GET /trace`` / ``POST /trace``
+    Read / set the per-batch trace sampling rate: body
+    ``{"rate": 0.25}``, reply ``{"rate": 0.25}``. Sampled batches
+    populate the ``stage_seconds{stage=...}`` histograms.
 ``POST /query``
     Body ``{"u": 1, "v": 2, "mode": "distance"}`` for one query, or
     ``{"pairs": [[1, 2], [3, 4]], "mode": "spg"}`` for a burst.
@@ -92,6 +103,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str,
+                    content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0:
@@ -113,6 +133,11 @@ class _Handler(BaseHTTPRequestHandler):
                               "workers": service.num_workers})
         elif self.path == "/stats":
             self._reply(200, service.stats())
+        elif self.path == "/metrics":
+            self._reply_text(200, service.metrics_text(),
+                             "text/plain; version=0.0.4; charset=utf-8")
+        elif self.path == "/trace":
+            self._reply(200, {"rate": service.trace_rate})
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -121,6 +146,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle(self._do_query)
         elif self.path == "/update":
             self._handle(self._do_update)
+        elif self.path == "/trace":
+            self._handle(self._do_trace)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -173,6 +200,15 @@ class _Handler(BaseHTTPRequestHandler):
         outcome = service.apply_updates(
             parsed, refresh=bool(payload.get("refresh", True)))
         return 200, dict(outcome)
+
+    def _do_trace(self, payload: Dict[str, Any]
+                  ) -> Tuple[int, Dict[str, Any]]:
+        service = self.server.service
+        rate = payload.get("rate")
+        if not isinstance(rate, (int, float)) \
+                or isinstance(rate, bool):
+            raise ValueError("'rate' must be a number in [0, 1]")
+        return 200, {"rate": service.set_trace_rate(float(rate))}
 
 
 def _extract_pairs(payload: Dict[str, Any]) -> List[Tuple[int, int]]:

@@ -38,6 +38,7 @@ from typing import List, NamedTuple, Optional, Tuple
 from .._util import Stopwatch
 from ..engine.session import QueryOptions, QuerySession
 from ..errors import ReproError, ServingError, VertexError
+from ..obs import get_registry, start_trace
 from .snapshot import SnapshotHandle, materialize_snapshot
 
 __all__ = ["WorkerPool", "BatchMessage", "BatchResponse", "PairError",
@@ -62,6 +63,10 @@ class BatchMessage(NamedTuple):
     handle: SnapshotHandle
     mode: Optional[str]
     pairs: Tuple[Tuple[int, int], ...]
+    #: Answer this batch under a trace: its per-stage spans feed the
+    #: worker's ``stage_seconds`` histograms, which ride back to the
+    #: parent registry in the response's ``metrics`` deltas.
+    trace: bool = False
 
 
 class BatchResponse(NamedTuple):
@@ -78,6 +83,10 @@ class BatchResponse(NamedTuple):
     #: Label-store counters of the worker's replica, when it serves a
     #: ``mmap`` snapshot through an out-of-core store (else ``None``).
     store: Optional[dict] = None
+    #: Metrics-registry deltas since the worker's previous response
+    #: (:meth:`repro.obs.MetricsRegistry.flush_deltas`); the batcher
+    #: merges them into the parent registry. ``None`` when empty.
+    metrics: Optional[dict] = None
 
 
 class PairError(NamedTuple):
@@ -120,6 +129,22 @@ def _answer_distance_batch(session: QuerySession, pairs,
     return values
 
 
+def _answer_batch(session: QuerySession, pairs, mode: Optional[str],
+                  effective: str) -> List:
+    """Answer one batch through the session (kernel or scalar path)."""
+    if effective == "distance":
+        # The whole deduplicated batch reaches the index as one
+        # vectorized kernel invocation.
+        return _answer_distance_batch(session, pairs, mode)
+    values: List = []
+    for u, v in pairs:
+        try:
+            values.append(session.query(u, v, mode=mode).value)
+        except ReproError as exc:
+            values.append(PairError(str(exc)))
+    return values
+
+
 def _worker_main(worker_id: int, requests, responses,
                  handle: SnapshotHandle, options: QueryOptions) -> None:
     """Worker process body: materialize, then serve batches forever."""
@@ -132,6 +157,7 @@ def _worker_main(worker_id: int, requests, responses,
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover
         pass
+    registry = get_registry()
     try:
         index = materialize_snapshot(handle)
         session = QuerySession(index, options)
@@ -139,6 +165,10 @@ def _worker_main(worker_id: int, requests, responses,
     except BaseException as exc:  # startup failure: report and exit
         responses.put(_Ready(worker_id, f"{type(exc).__name__}: {exc}"))
         return
+    # The fork copied the parent's registry, absolute counts included;
+    # discard that inherited baseline (plus materialization noise) so
+    # the first real flush ships only this worker's own query work.
+    registry.flush_deltas()
     responses.put(_Ready(worker_id, None))
     while True:
         try:
@@ -147,7 +177,7 @@ def _worker_main(worker_id: int, requests, responses,
             break
         if message is _SHUTDOWN:
             break
-        batch_id, handle, mode, pairs = message
+        batch_id, handle, mode, pairs, trace = message
         with Stopwatch() as sw:
             try:
                 if handle.epoch != epoch:
@@ -157,29 +187,27 @@ def _worker_main(worker_id: int, requests, responses,
                 hits_before = session.cache_hits_total
                 effective = (mode if mode is not None
                              else options.mode)
-                if effective == "distance":
-                    # The whole deduplicated batch reaches the index
-                    # as one vectorized kernel invocation.
-                    values = _answer_distance_batch(session, pairs,
-                                                    mode)
+                if trace:
+                    with start_trace("serving.batch",
+                                     batch=batch_id,
+                                     pairs=len(pairs)):
+                        values = _answer_batch(session, pairs, mode,
+                                               effective)
                 else:
-                    values = []
-                    for u, v in pairs:
-                        try:
-                            values.append(
-                                session.query(u, v, mode=mode).value)
-                        except ReproError as exc:
-                            values.append(PairError(str(exc)))
+                    values = _answer_batch(session, pairs, mode,
+                                           effective)
             except BaseException as exc:
                 responses.put(BatchResponse(
                     batch_id, handle.epoch, worker_id, None,
-                    f"{type(exc).__name__}: {exc}", sw.elapsed, 0))
+                    f"{type(exc).__name__}: {exc}", sw.elapsed, 0,
+                    None, registry.flush_deltas() or None))
                 continue
         store_stats = getattr(index, "store_stats", None)
         responses.put(BatchResponse(
             batch_id, epoch, worker_id, values, None, sw.elapsed,
             session.cache_hits_total - hits_before,
-            store_stats() if store_stats is not None else None))
+            store_stats() if store_stats is not None else None,
+            registry.flush_deltas() or None))
 
 
 class WorkerPool:
@@ -287,8 +315,8 @@ class WorkerPool:
         return sum(1 for process in self._processes
                    if process.is_alive())
 
-    def respawn(self, handle: SnapshotHandle) -> int:
-        """Replace dead workers; returns how many were respawned.
+    def respawn(self, handle: SnapshotHandle) -> List[int]:
+        """Replace dead workers; returns the respawned worker slots.
 
         Replacements materialize ``handle`` at startup and post their
         readiness report on the response queue — consumers of
@@ -296,11 +324,11 @@ class WorkerPool:
         messages (the batcher's collector does). A batch a dead
         worker took down with it never produces a response; the
         batcher re-dispatches its in-flight batches after calling
-        this.
+        this (and logs/counts each slot returned here).
         """
         if self._closed or not self._started:
-            return 0
-        respawned = 0
+            return []
+        respawned: List[int] = []
         for slot, process in enumerate(self._processes):
             if process.is_alive():
                 continue
@@ -315,7 +343,7 @@ class WorkerPool:
             self._processes[slot] = replacement
             old.close()
             old.cancel_join_thread()
-            respawned += 1
+            respawned.append(slot)
         return respawned
 
     def close(self, timeout: float = 5.0) -> None:

@@ -45,6 +45,8 @@ from ..errors import (
     ServingError,
     VertexError,
 )
+from ..obs import get_registry
+from ..obs.registry import format_sample
 from .batcher import Answer, Batcher
 from .pool import WorkerPool
 from .snapshot import Snapshot, SnapshotManager
@@ -232,6 +234,60 @@ class QueryService:
         if label_store is not None:
             stats["label_store"] = label_store
         return stats
+
+    def metrics_text(self) -> str:
+        """Prometheus text for ``GET /metrics``.
+
+        The process registry's full exposition (session, shard, store,
+        build and serving series — worker deltas included, since the
+        batcher merges them as responses arrive) followed by
+        point-in-time service gauges and, under ``store="mmap"``, the
+        fleet-aggregated ``serving_label_store_*`` series.
+        """
+        self._check_open()
+        batcher_stats = self._batcher.stats()
+        current = self._snapshots.current
+        lines = [get_registry().render_prometheus().rstrip("\n")]
+
+        def _gauge(name: str, value: float) -> None:
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(format_sample(name, {}, float(value)))
+
+        _gauge("serving_pending_requests", batcher_stats["pending"])
+        _gauge("serving_inflight_batches",
+               batcher_stats["inflight_batches"])
+        _gauge("serving_workers", self._pool.num_workers)
+        _gauge("serving_alive_workers", self._pool.alive_workers)
+        _gauge("serving_epoch", current.handle.epoch)
+        _gauge("serving_published_epochs", len(self._snapshots.epochs))
+        _gauge("serving_trace_sample_rate", self.trace_rate)
+        label_store = self._batcher.label_store_stats()
+        if label_store is not None:
+            for key in ("hits", "misses", "evictions", "pinned_hits"):
+                name = f"serving_label_store_{key}_total"
+                lines.append(f"# TYPE {name} counter")
+                lines.append(format_sample(name, {},
+                                           float(label_store[key])))
+            for key in ("resident_bytes", "hit_rate", "hot_fraction",
+                        "workers_reporting"):
+                _gauge(f"serving_label_store_{key}", label_store[key])
+        return "\n".join(lines) + "\n"
+
+    @property
+    def trace_rate(self) -> float:
+        """Per-batch trace sampling rate (0 disables tracing)."""
+        return self._batcher.trace_sampler.rate
+
+    def set_trace_rate(self, rate: float) -> float:
+        """Set the per-batch trace sampling rate; returns the new rate.
+
+        A sampled batch runs under a ``serving.batch`` trace in its
+        worker and its per-stage timings come back through the metrics
+        deltas as ``stage_seconds{stage=...}`` observations.
+        """
+        self._check_open()
+        self._batcher.trace_sampler.set_rate(rate)
+        return self.trace_rate
 
     # ------------------------------------------------------------------
     # Lifecycle

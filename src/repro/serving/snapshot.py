@@ -57,10 +57,12 @@ from typing import Any, Dict, List, NamedTuple, Optional
 
 import numpy as np
 
+from .._util import Stopwatch
 from ..engine.base import PathIndex
 from ..engine.persist import load_index, save_index
 from ..engine.registry import get_index_class
 from ..errors import ServingError
+from ..obs import get_registry, span
 
 __all__ = ["SnapshotHandle", "Snapshot", "SnapshotManager",
            "materialize_snapshot", "SNAPSHOT_STORES"]
@@ -320,10 +322,21 @@ class SnapshotManager:
                 raise ServingError("snapshot manager is closed")
             epoch = self._next_epoch
             self._next_epoch += 1
-            snapshot = self._publish_locked(epoch)
-            self._snapshots[epoch] = snapshot
-            self._current = snapshot
-            self._retire_locked()
+            registry = get_registry()
+            with span("snapshot.pack", epoch=epoch, kind=self._store):
+                with Stopwatch() as sw:
+                    snapshot = self._publish_locked(epoch)
+            registry.histogram(
+                "snapshot_publish_seconds",
+                help="Pack-and-publish time of one snapshot epoch.",
+                kind=self._store).observe(sw.elapsed)
+            registry.counter(
+                "snapshot_publishes_total",
+                help="Snapshot epochs published.").inc()
+            with span("snapshot.swap", epoch=epoch):
+                self._snapshots[epoch] = snapshot
+                self._current = snapshot
+                self._retire_locked()
             return snapshot
 
     def publish_if_changed(self) -> Optional[Snapshot]:
@@ -433,6 +446,9 @@ class SnapshotManager:
         if snapshot.retired:
             return
         snapshot.retired = True
+        get_registry().counter(
+            "snapshot_retirements_total",
+            help="Snapshot epochs whose storage was retired.").inc()
         segment = snapshot._segment
         if segment is not None:
             snapshot._segment = None

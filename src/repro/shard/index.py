@@ -39,7 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .._util import UNREACHED
+from .._util import UNREACHED, Stopwatch
 from ..baselines.oracle import spg_edges_from_distances
 from ..core.spg import ShortestPathGraph
 from ..engine.base import PathIndex
@@ -50,6 +50,7 @@ from ..errors import GraphValidationError, IndexBuildError
 from ..graph.csr import Graph
 from ..graph.ops import induced_subgraph
 from ..graph.traversal import bfs_distances_offsets
+from ..obs import get_registry, span
 from .builder import ParallelBuilder, ShardBuildOutcome
 from .overlay import BoundaryOverlay, build_overlay, shard_boundary_ids
 from .partition import Partition, partition_graph
@@ -138,10 +139,16 @@ class ShardedIndex(PathIndex):
         builds shards inline; larger values fan out over a process
         pool (:class:`~repro.shard.builder.ParallelBuilder`).
         """
-        partition = partition_graph(graph, num_shards,
-                                    method=partition_method,
-                                    seed=seed,
-                                    refine_sweeps=refine_sweeps)
+        with span("build.partition", shards=num_shards):
+            with Stopwatch() as sw:
+                partition = partition_graph(graph, num_shards,
+                                            method=partition_method,
+                                            seed=seed,
+                                            refine_sweeps=refine_sweeps)
+        get_registry().histogram(
+            "build_phase_seconds",
+            help="Wall time of index build phases.",
+            phase="partition").observe(sw.elapsed)
         return cls.from_partition(graph, partition, inner=inner,
                                   workers=workers, **inner_params)
 
@@ -167,11 +174,29 @@ class ShardedIndex(PathIndex):
             boundary_locals.append(
                 np.searchsorted(global_ids,
                                 boundary_global[shard]).astype(np.int64))
+        registry = get_registry()
+        phase_seconds = registry.histogram(
+            "build_phase_seconds",
+            help="Wall time of index build phases.", phase="shards")
         builder = ParallelBuilder(num_workers=workers)
-        shards, cliques, outcomes, wall = builder.build(
-            subgraphs, boundary_locals, inner, inner_params)
-        overlay = build_overlay(graph, partition, boundary_global,
-                                cliques)
+        with span("build.shards", shards=partition.num_shards,
+                  inner=inner):
+            shards, cliques, outcomes, wall = builder.build(
+                subgraphs, boundary_locals, inner, inner_params)
+        phase_seconds.observe(wall)
+        if outcomes:
+            shard_seconds = registry.histogram(
+                "build_shard_seconds",
+                help="Per-shard inner index build time.")
+            shard_seconds.observe_many([o.seconds for o in outcomes])
+        with span("build.overlay"):
+            with Stopwatch() as sw:
+                overlay = build_overlay(graph, partition,
+                                        boundary_global, cliques)
+        registry.histogram(
+            "build_phase_seconds",
+            help="Wall time of index build phases.",
+            phase="overlay").observe(sw.elapsed)
         return cls(graph, partition, shards, overlay, inner,
                    inner_params=inner_params, outcomes=outcomes,
                    build_wall_seconds=wall)
@@ -188,8 +213,9 @@ class ShardedIndex(PathIndex):
         su = int(self._partition.assignment[u])
         direct = None
         if su == int(self._partition.assignment[v]):
-            direct = self._shards[su].distance(
-                int(self._local_id[u]), int(self._local_id[v]))
+            with span("shard.local", shard=su):
+                direct = self._shards[su].distance(
+                    int(self._local_id[u]), int(self._local_id[v]))
             if direct is not None and direct <= 2:
                 # A local answer this short is provably global: 1 means
                 # the edge itself (present in the induced subgraph),
@@ -226,14 +252,16 @@ class ShardedIndex(PathIndex):
         # pairs it settles never pay for boundary rows below.
         cohabiting = (shard_u == shard_v) & ~settled
         direct = np.full(count, np.inf, dtype=np.float64)
-        for shard in range(self._partition.num_shards):
-            members = np.nonzero(cohabiting & (shard_u == shard))[0]
-            if not len(members):
-                continue
-            answers = self._shards[shard].distance_many(
-                [(int(self._local_id[us[b]]), int(self._local_id[vs[b]]))
-                 for b in members.tolist()])
-            direct[members] = distances_to_float(answers)
+        with span("shard.local", pairs=int(cohabiting.sum())):
+            for shard in range(self._partition.num_shards):
+                members = np.nonzero(cohabiting & (shard_u == shard))[0]
+                if not len(members):
+                    continue
+                answers = self._shards[shard].distance_many(
+                    [(int(self._local_id[us[b]]),
+                      int(self._local_id[vs[b]]))
+                     for b in members.tolist()])
+                direct[members] = distances_to_float(answers)
         short = cohabiting & (direct <= 2)
         best[short] = direct[short]
         settled |= short
@@ -254,49 +282,56 @@ class ShardedIndex(PathIndex):
         boundary_rows: List[Optional[np.ndarray]] = [None] * len(unique)
         unique_shard = assignment[unique] if len(unique) \
             else np.zeros(0, dtype=np.int64)
-        for shard in range(self._partition.num_shards):
-            members = np.nonzero(unique_shard == shard)[0]
-            if not len(members):
-                continue
-            locals_b = self._shard_boundary_local[shard]
-            if not len(locals_b):
-                empty = np.zeros(0, dtype=np.float64)
-                for m in members.tolist():
-                    boundary_rows[m] = empty
-                continue
-            local_vertices = self._local_id[unique[members]]
-            answers = self._shards[shard].distance_many(
-                [(int(x), int(b)) for x in local_vertices.tolist()
-                 for b in locals_b.tolist()])
-            matrix = distances_to_float(answers).reshape(
-                len(members), len(locals_b))
-            for row, m in enumerate(members.tolist()):
-                boundary_rows[m] = matrix[row]
+        with span("shard.boundary", endpoints=len(unique)):
+            for shard in range(self._partition.num_shards):
+                members = np.nonzero(unique_shard == shard)[0]
+                if not len(members):
+                    continue
+                locals_b = self._shard_boundary_local[shard]
+                if not len(locals_b):
+                    empty = np.zeros(0, dtype=np.float64)
+                    for m in members.tolist():
+                        boundary_rows[m] = empty
+                    continue
+                local_vertices = self._local_id[unique[members]]
+                answers = self._shards[shard].distance_many(
+                    [(int(x), int(b)) for x in local_vertices.tolist()
+                     for b in locals_b.tolist()])
+                matrix = distances_to_float(answers).reshape(
+                    len(members), len(locals_b))
+                for row, m in enumerate(members.tolist()):
+                    boundary_rows[m] = matrix[row]
 
         # Relay through the overlay, grouped by the (su, sv) shard
         # pair so each group shares one overlay block.
         open_idx = np.nonzero(open_mask)[0]
         if len(open_idx) and self._overlay.num_boundary:
-            num_shards = self._partition.num_shards
-            group_key = shard_u[open_idx] * num_shards + shard_v[open_idx]
-            order = np.argsort(group_key, kind="stable")
-            open_idx = open_idx[order]
-            group_key = group_key[order]
-            starts = np.nonzero(np.r_[True, np.diff(group_key) != 0])[0]
-            ends = np.r_[starts[1:], len(open_idx)]
-            for lo, hi in zip(starts.tolist(), ends.tolist()):
-                group = open_idx[lo:hi]
-                s_u = int(shard_u[group[0]])
-                s_v = int(shard_v[group[0]])
-                overlay_u = self._shard_boundary_overlay[s_u]
-                overlay_v = self._shard_boundary_overlay[s_v]
-                if not len(overlay_u) or not len(overlay_v):
-                    continue
-                block = self._overlay.dist_float(overlay_u, overlay_v)
-                du = np.stack([boundary_rows[slot_u[b]] for b in group])
-                dv = np.stack([boundary_rows[slot_v[b]] for b in group])
-                best[group] = np.minimum(
-                    best[group], batched_min_plus(du, block, dv))
+            with span("shard.relay", pairs=len(open_idx)):
+                num_shards = self._partition.num_shards
+                group_key = shard_u[open_idx] * num_shards \
+                    + shard_v[open_idx]
+                order = np.argsort(group_key, kind="stable")
+                open_idx = open_idx[order]
+                group_key = group_key[order]
+                starts = np.nonzero(
+                    np.r_[True, np.diff(group_key) != 0])[0]
+                ends = np.r_[starts[1:], len(open_idx)]
+                for lo, hi in zip(starts.tolist(), ends.tolist()):
+                    group = open_idx[lo:hi]
+                    s_u = int(shard_u[group[0]])
+                    s_v = int(shard_v[group[0]])
+                    overlay_u = self._shard_boundary_overlay[s_u]
+                    overlay_v = self._shard_boundary_overlay[s_v]
+                    if not len(overlay_u) or not len(overlay_v):
+                        continue
+                    block = self._overlay.dist_float(overlay_u,
+                                                     overlay_v)
+                    du = np.stack([boundary_rows[slot_u[b]]
+                                   for b in group])
+                    dv = np.stack([boundary_rows[slot_v[b]]
+                                   for b in group])
+                    best[group] = np.minimum(
+                        best[group], batched_min_plus(du, block, dv))
         return finalize_distances(best)
 
     def query(self, u: int, v: int) -> ShortestPathGraph:
@@ -311,9 +346,10 @@ class ShardedIndex(PathIndex):
         if d == 1:
             # The union of all length-1 shortest paths is the edge.
             return ShortestPathGraph(u, v, 1, [(u, v)])
-        du = self._distance_field(u, du_b, v, dv_b, d)
-        dv = self._distance_field(v, dv_b, u, du_b, d)
-        edges = spg_edges_from_distances(self._graph, du, dv, d)
+        with span("shard.spg_sweep", d=d):
+            du = self._distance_field(u, du_b, v, dv_b, d)
+            dv = self._distance_field(v, dv_b, u, du_b, d)
+            edges = spg_edges_from_distances(self._graph, du, dv, d)
         return ShortestPathGraph(u, v, d,
                                  map(tuple, edges.tolist()))
 
@@ -330,21 +366,25 @@ class ShardedIndex(PathIndex):
         """
         su = int(self._partition.assignment[u])
         sv = int(self._partition.assignment[v])
-        du_b = self._boundary_distances(su, int(self._local_id[u]))
-        dv_b = self._boundary_distances(sv, int(self._local_id[v]))
+        with span("shard.boundary", shards=f"{su},{sv}"):
+            du_b = self._boundary_distances(su, int(self._local_id[u]))
+            dv_b = self._boundary_distances(sv, int(self._local_id[v]))
         best = np.inf
         if su == sv:
             if direct is None:
-                direct = self._shards[su].distance(
-                    int(self._local_id[u]), int(self._local_id[v]))
+                with span("shard.local", shard=su):
+                    direct = self._shards[su].distance(
+                        int(self._local_id[u]), int(self._local_id[v]))
             if direct is not None:
                 best = float(direct)
         if len(du_b) and len(dv_b):
-            block = self._overlay.dist_float(
-                self._shard_boundary_overlay[su],
-                self._shard_boundary_overlay[sv])
-            relayed = du_b[:, None] + block + dv_b[None, :]
-            best = min(best, float(relayed.min()))
+            with span("shard.relay",
+                      boundary=f"{len(du_b)}x{len(dv_b)}"):
+                block = self._overlay.dist_float(
+                    self._shard_boundary_overlay[su],
+                    self._shard_boundary_overlay[sv])
+                relayed = du_b[:, None] + block + dv_b[None, :]
+                best = min(best, float(relayed.min()))
         return best, du_b, dv_b
 
     def _boundary_distances(self, shard: int, local_v: int) -> np.ndarray:

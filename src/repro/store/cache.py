@@ -11,7 +11,12 @@ hit RAM instead of disk.
 
 Counters (``hits`` / ``misses`` / ``evictions`` / ``pinned_hits``)
 are plain attributes read by :meth:`PageCache.stats`; they flow up
-through ``LabelStore.stats`` into serving ``/stats``.
+through ``LabelStore.stats`` into serving ``/stats``, and every live
+cache is also weakly registered with :mod:`repro.obs` so the metrics
+scrape sums the same counters into the ``store_page_cache_*`` series
+(``/stats`` and ``/metrics`` agree by construction). A block miss
+additionally marks ``page_faults`` on the innermost open trace span,
+so sampled query traces show exactly which stage paid for disk.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from typing import Callable, Dict, Tuple
 import numpy as np
 
 from ..errors import IndexFormatError
+from ..obs import register_page_cache
+from ..obs.trace import current_add
 
 __all__ = ["PageCache", "CachedArray", "DEFAULT_CACHE_BYTES",
            "DEFAULT_BLOCK_BYTES"]
@@ -41,7 +48,7 @@ class PageCache:
 
     __slots__ = ("budget_bytes", "block_bytes", "hits", "misses",
                  "evictions", "pinned_hits", "_lru", "_pinned",
-                 "_lru_bytes", "_pinned_bytes")
+                 "_lru_bytes", "_pinned_bytes", "__weakref__")
 
     def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES,
                  block_bytes: int = DEFAULT_BLOCK_BYTES) -> None:
@@ -59,6 +66,7 @@ class PageCache:
         self._pinned: Dict[_Key, np.ndarray] = {}
         self._lru_bytes = 0
         self._pinned_bytes = 0
+        register_page_cache(self)
 
     def get(self, key: _Key,
             loader: Callable[[], np.ndarray]) -> np.ndarray:
@@ -73,6 +81,7 @@ class PageCache:
             self._lru.move_to_end(key)
             return block
         self.misses += 1
+        current_add("page_faults")
         block = loader()
         self._lru[key] = block
         self._lru_bytes += block.nbytes
