@@ -30,6 +30,8 @@ from repro.dynamic import DynamicIndex
 from repro.graph import barabasi_albert
 from repro.workloads import generate_update_stream, sample_pairs
 
+from _bench import record_suite
+
 #: >= 10k vertices, per the subsystem's acceptance experiment.
 GRAPH_N = 10_000
 GRAPH_M = 2
@@ -190,3 +192,11 @@ def test_write_bench_json():
     BENCH_PATH.write_text(json.dumps(payload, indent=2,
                                      sort_keys=True) + "\n")
     assert BENCH_PATH.exists()
+    record_suite("batch-kernel", {
+        "ppl_speedup": _RESULTS["ppl"]["speedup"],
+        "ppl_vectorized_qps": _RESULTS["ppl"]["vectorized_qps"],
+        "qbs_speedup": _RESULTS["qbs"]["speedup"],
+        "sharded_speedup": _RESULTS["sharded"]["speedup"],
+        "dynamic_speedup": _RESULTS["dynamic"]["speedup"],
+    }, seed=GRAPH_SEED, workload=f"ba-{GRAPH_N} vectorized batches",
+        mismatches=_RESULTS["ppl"]["oracle_mismatches"])

@@ -25,6 +25,8 @@ from repro.dynamic import DynamicIndex
 from repro.graph import barabasi_albert
 from repro.workloads import generate_update_stream, sample_pairs
 
+from _bench import record_suite
+
 #: >= 10k vertices, per the subsystem's acceptance experiment.
 GRAPH_N = 10_000
 GRAPH_M = 2
@@ -175,3 +177,10 @@ def test_write_bench_json(bench_graph):
                           + "\n")
     assert json.loads(BENCH_PATH.read_text())["rebuild_per_update"][
         "speedup"] >= 10.0
+    record_suite("dynamic-updates", {
+        "rebuild_speedup": _RESULTS["rebuild_per_update"]["speedup"],
+        **{f"query_{family}_ms": latency
+           for family, latency
+           in sorted(_RESULTS["query_latency_ms"].items())},
+    }, seed=GRAPH_SEED, workload=f"ba-{GRAPH_N} update stream",
+        mismatches=_RESULTS["exactness"]["mismatches"])

@@ -40,6 +40,8 @@ from repro.serving import QueryService, run_burst, run_closed_loop
 from repro.workloads import generate_update_stream, \
     sample_pairs_hotspot
 
+from _bench import record_suite
+
 #: >= 10k vertices, per the subsystem's acceptance experiment.
 GRAPH_N = 10_000
 GRAPH_M = 2
@@ -237,3 +239,10 @@ def test_write_bench_json(bench_graph):
     written = json.loads(BENCH_PATH.read_text())
     assert written["service"]["speedup_vs_sequential"] >= SPEEDUP_FLOOR
     assert written["under_updates"]["mismatches"] == 0
+    record_suite("serving", {
+        "sequential_qps": _RESULTS["sequential"]["throughput_qps"],
+        "sequential_mean_ms": _RESULTS["sequential"]["mean_query_ms"],
+        "service_speedup": _RESULTS["service"]["speedup_vs_sequential"],
+        "deduplicated": _RESULTS["service"]["deduplicated"],
+    }, seed=GRAPH_SEED, workload="hotspot burst, 4-worker service",
+        mismatches=_RESULTS["under_updates"]["mismatches"])

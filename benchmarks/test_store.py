@@ -38,6 +38,8 @@ from repro.graph import barabasi_albert
 from repro.store import pack_index_store
 from repro.workloads import sample_pairs
 
+from _bench import record_suite
+
 GRAPH_N = 9_000
 GRAPH_M = 2
 GRAPH_SEED = 7
@@ -270,3 +272,10 @@ def test_write_bench_json():
     BENCH_PATH.write_text(json.dumps(payload, indent=2,
                                      sort_keys=True) + "\n")
     assert BENCH_PATH.exists()
+    record_suite("store", {
+        "store_mix_qps": _RESULTS["mix"]["store_mix_qps"],
+        "resident_mix_qps": _RESULTS["mix"]["resident_mix_qps"],
+        "cold_scalar_ms_p50": _RESULTS["mix"]["cold_scalar_ms_p50"],
+        "hot_tier_hit_rate": _RESULTS["mix"]["hot_tier_hit_rate"],
+    }, seed=GRAPH_SEED, workload=f"ba-{GRAPH_N} tiered-store mix",
+        mismatches=_RESULTS["mix"]["oracle_mismatches"])

@@ -80,6 +80,24 @@ Three kinds of commands:
   faulted from disk on demand; ``serve --store mmap`` packs the
   snapshot itself so workers share one on-disk copy.
 
+* **profile** — run a query workload under the folded-stack sampling
+  profiler and print/save flamegraph-compatible output, or roll up an
+  existing folded file::
+
+      python -m repro profile run --index douban.idx --seconds 3 \\
+          --out douban.folded
+      python -m repro profile top douban.folded -n 20
+
+* **bench** — operate the ``BENCH_TRAJECTORY.jsonl`` perf ledger the
+  benchmark suites append to: list records, gate on regressions
+  against the recorded baseline (nonzero exit on violation — the CI
+  gate), or append a synthetic slowdown to prove the gate trips::
+
+      python -m repro bench list
+      python -m repro bench compare \\
+          --tolerance-file benchmarks/tolerances.json
+      python -m repro bench inject --scale 2.0
+
 * **partition** — partition a stand-in and print the quality report
   (edge cut, balance, boundary fraction), optionally saving the
   partition map for a later sharded build::
@@ -345,6 +363,89 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="print a packed store's tier layout")
     store_inspect_cmd.add_argument("path", help="packed store file")
 
+    profile_cmd = commands.add_parser(
+        "profile", help="sampling profiler: run a workload under the "
+                        "profiler, or roll up a folded-stack file")
+    profile_actions = profile_cmd.add_subparsers(
+        dest="profile_action", required=True, metavar="action")
+    profile_run_cmd = profile_actions.add_parser(
+        "run", help="answer a query workload under the sampling "
+                    "profiler and emit folded stacks")
+    profile_run_cmd.add_argument("--index", required=True,
+                                 help="path written by the build "
+                                      "command")
+    profile_run_cmd.add_argument("--mode", default="distance",
+                                 choices=QUERY_MODES,
+                                 help="what to compute per pair")
+    profile_run_cmd.add_argument("--random", type=int, default=200,
+                                 metavar="N",
+                                 help="random pairs cycled for the "
+                                      "duration (default: 200)")
+    profile_run_cmd.add_argument("--seed", type=int, default=0,
+                                 help="seed for pair sampling")
+    profile_run_cmd.add_argument("--cache", type=int, default=0,
+                                 help="LRU result cache size (default "
+                                      "off, so the profile shows real "
+                                      "query work)")
+    profile_run_cmd.add_argument("--seconds", type=float, default=2.0,
+                                 help="profiling window (default: 2)")
+    profile_run_cmd.add_argument("--hz", type=float, default=None,
+                                 help="sampling rate (default: 67)")
+    profile_run_cmd.add_argument("--out", default=None,
+                                 help="write folded stacks here "
+                                      "(flamegraph.pl / speedscope "
+                                      "input) instead of stdout")
+    profile_run_cmd.add_argument("--top", type=int, default=10,
+                                 metavar="N",
+                                 help="hottest-frames rows to print "
+                                      "(0: none)")
+    profile_top_cmd = profile_actions.add_parser(
+        "top", help="print the hottest frames of a folded-stack file")
+    profile_top_cmd.add_argument("path",
+                                 help="folded-stack file (profile run "
+                                      "--out, or GET /profile output)")
+    profile_top_cmd.add_argument("-n", "--count", type=int, default=15,
+                                 help="rows to print (default: 15)")
+
+    bench_cmd = commands.add_parser(
+        "bench", help="bench-trajectory ledger: list records, gate on "
+                      "regressions, inject a synthetic slowdown")
+    bench_actions = bench_cmd.add_subparsers(
+        dest="bench_action", required=True, metavar="action")
+    bench_flags = argparse.ArgumentParser(add_help=False)
+    bench_flags.add_argument("--trajectory",
+                             default="BENCH_TRAJECTORY.jsonl",
+                             help="trajectory ledger path (default: "
+                                  "./BENCH_TRAJECTORY.jsonl)")
+    bench_compare_cmd = bench_actions.add_parser(
+        "compare", parents=[bench_flags],
+        help="diff each suite's newest record against its baseline; "
+             "exit 1 on any tolerance violation")
+    bench_compare_cmd.add_argument("--tolerance-file", default=None,
+                                   help="JSON tolerance bands "
+                                        "(default: ratio 1.5 on "
+                                        "timing metrics)")
+    bench_compare_cmd.add_argument("--suites", nargs="+", default=None,
+                                   help="restrict the gate to these "
+                                        "suites")
+    bench_compare_cmd.add_argument("--verbose", action="store_true",
+                                   help="print passing metrics too")
+    bench_list_cmd = bench_actions.add_parser(
+        "list", parents=[bench_flags],
+        help="summarize the trajectory's records")
+    bench_list_cmd.add_argument("--suite", default=None,
+                                help="restrict to one suite")
+    bench_inject_cmd = bench_actions.add_parser(
+        "inject", parents=[bench_flags],
+        help="append a synthetic regression record (the CI gate's "
+             "self-test)")
+    bench_inject_cmd.add_argument("--suite", default=None,
+                                  help="suite to clone (default: the "
+                                       "newest record's suite)")
+    bench_inject_cmd.add_argument("--scale", type=float, default=2.0,
+                                  help="timing-metric multiplier "
+                                       "(default: 2.0)")
+
     partition_cmd = commands.add_parser(
         "partition", help="partition a stand-in and report quality")
     partition_cmd.add_argument("--dataset", required=True,
@@ -388,6 +489,10 @@ def _dispatch(args) -> int:
         return _run_inspect(args)
     if args.experiment == "store":
         return _run_store(args)
+    if args.experiment == "profile":
+        return _run_profile(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
     if args.experiment == "partition":
         return _run_partition(args)
     runner = _EXPERIMENTS[args.experiment]
@@ -628,7 +733,8 @@ def _run_serve(args) -> int:
             server,
             f"listening on http://{host}:{port} "
             f"(POST /query, POST /update, GET /stats, GET /metrics, "
-            f"GET/POST /trace, GET /healthz; Ctrl-C to stop)")
+            f"GET/POST /trace, GET /profile, GET /healthz; "
+            f"Ctrl-C to stop)")
         print("draining batcher and stopping workers")
         # Falling out of the ``with`` closes the service: the batcher
         # drains its in-flight batches and the worker pool is joined
@@ -814,6 +920,139 @@ def _print_description(path, description: dict) -> None:
           f"({description['kind']}), method={description['method']!r}, "
           f"{len(description['arrays'])} arrays, {logical} logical "
           f"bytes, {description['file_bytes']} on disk")
+
+
+def _run_profile(args) -> int:
+    if args.profile_action == "top":
+        return _run_profile_top(args)
+    return _run_profile_run(args)
+
+
+def _run_profile_run(args) -> int:
+    import time
+
+    from .obs.profiler import (
+        DEFAULT_HZ,
+        SamplingProfiler,
+        render_folded,
+        top_frames,
+    )
+    from .workloads import sample_pairs
+
+    if args.random <= 0:
+        raise ReproError("--random needs a positive pair count")
+    if args.seconds <= 0:
+        raise ReproError("--seconds must be positive")
+    index = load_index(args.index)
+    pairs = sample_pairs(index.graph, args.random, seed=args.seed)
+    session = QuerySession(index, QueryOptions(
+        mode=args.mode, cache_size=args.cache))
+    hz = args.hz if args.hz is not None else DEFAULT_HZ
+    profiler = SamplingProfiler(hz)
+    deadline = time.monotonic() + args.seconds
+    queries = 0
+    with profiler:
+        # Cycle the sampled pairs until the window closes; the
+        # deadline is checked per query so one slow pair cannot
+        # overrun the window by a whole sweep.
+        while time.monotonic() < deadline:
+            for u, v in pairs:
+                session.query(u, v)
+                queries += 1
+                if time.monotonic() >= deadline:
+                    break
+    counts = profiler.folded()
+    folded = render_folded(counts)
+    if args.out is not None:
+        # render_folded already ends with a newline when non-empty.
+        with open(args.out, "w") as handle:
+            handle.write(folded)
+        print(f"wrote {len(counts)} folded stacks "
+              f"({profiler.sample_count} samples) to {args.out}")
+    else:
+        print(folded)
+    if args.top:
+        rows = [{"frame": frame, "samples": count,
+                 "share": f"{count / max(1, profiler.sample_count):.1%}"}
+                for frame, count in top_frames(counts, args.top)]
+        if rows:
+            print(harness.format_rows(
+                rows, columns=("frame", "samples", "share")))
+    print(f"{queries} {args.mode} queries in {args.seconds:.1f}s "
+          f"window, {profiler.sample_count} samples at {hz:g} Hz on "
+          f"{index.method!r}")
+    return 0
+
+
+def _run_profile_top(args) -> int:
+    from .obs.profiler import top_frames
+
+    counts: dict = {}
+    try:
+        with open(args.path, "r") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                stack, _, count = line.rpartition(" ")
+                if not stack or not count.isdigit():
+                    raise ReproError(
+                        f"{args.path}:{line_no}: not a folded-stack "
+                        f"line (expected 'frames... count')")
+                counts[stack] = counts.get(stack, 0) + int(count)
+    except OSError as exc:
+        raise ReproError(f"cannot read folded stacks: {exc}")
+    total = sum(counts.values())
+    rows = [{"frame": frame, "samples": count,
+             "share": f"{count / max(1, total):.1%}"}
+            for frame, count in top_frames(counts, args.count)]
+    print(harness.format_rows(rows,
+                              columns=("frame", "samples", "share")))
+    print(f"{total} samples over {len(counts)} distinct stacks")
+    return 0
+
+
+def _run_bench(args) -> int:
+    from .obs.bench import (
+        compare_trajectory,
+        format_comparisons,
+        inject_slowdown,
+        load_tolerances,
+        load_trajectory,
+    )
+
+    if args.bench_action == "list":
+        records = load_trajectory(args.trajectory)
+        if args.suite is not None:
+            records = [record for record in records
+                       if record["suite"] == args.suite]
+        rows = [{
+            "suite": record["suite"],
+            "unix_time": int(record["unix_time"]),
+            "git_sha": (record.get("git_sha") or "-")[:12],
+            "metrics": len(record["metrics"]),
+            "injected": ("yes" if record.get("extra", {})
+                         .get("injected_slowdown") else "-"),
+        } for record in records]
+        print(harness.format_rows(
+            rows, columns=("suite", "unix_time", "git_sha", "metrics",
+                           "injected")))
+        print(f"{len(records)} records in {args.trajectory}")
+        return 0
+    if args.bench_action == "inject":
+        record = inject_slowdown(args.trajectory, suite=args.suite,
+                                 scale=args.scale)
+        print(f"appended synthetic x{args.scale:g} slowdown record "
+              f"for suite {record['suite']!r} to {args.trajectory}")
+        return 0
+    tolerances = (load_tolerances(args.tolerance_file)
+                  if args.tolerance_file is not None else {})
+    comparisons, notes = compare_trajectory(args.trajectory, tolerances,
+                                            suites=args.suites)
+    print(format_comparisons(comparisons, notes,
+                             verbose=args.verbose))
+    violations = [c for c in comparisons if not c.ok]
+    return 1 if violations else 0
 
 
 def _run_partition(args) -> int:

@@ -42,6 +42,7 @@ from .._util import Stopwatch
 from ..core.search import SearchStats
 from ..errors import QueryError
 from ..obs import get_registry, log_slow_query, span, start_trace
+from ..obs.profiler import attach_profile
 from ..obs.trace import Span, TraceSampler
 from .base import PathIndex
 
@@ -301,6 +302,9 @@ class QuerySession:
         if self._sampler.should_sample():
             with start_trace("query", u=u, v=v, mode=mode) as root:
                 record = self._query_inner(u, v, mode)
+            # With a sampling profiler running, the trace carries
+            # stack attribution (slow logs print it as profile=...).
+            attach_profile(root)
             self.last_trace = root
             self._maybe_slow(record, root)
             return record
@@ -375,6 +379,7 @@ class QuerySession:
             with start_trace("query_many", mode=mode,
                              pairs=len(pairs)) as root:
                 records = self._query_many_inner(pairs, mode)
+            attach_profile(root)
             self.last_trace = root
             if self.options.slow_query_ms is not None:
                 for record in records:

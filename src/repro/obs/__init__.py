@@ -1,4 +1,4 @@
-"""Observability layer: metrics registry, span tracer, slow-query log.
+"""Observability layer: metrics, traces, profiles, resources, bench.
 
 See :mod:`repro.obs.registry` for the metrics model (counters, gauges,
 numpy-backed histograms, fork-aware deltas, Prometheus rendering) and
@@ -7,8 +7,31 @@ untraced path. Everything instruments against the process default
 registry (:func:`get_registry`); swap it with :func:`set_registry`
 (e.g. a ``MetricsRegistry(enabled=False)`` to measure uninstrumented
 baselines).
+
+On top of the registry sit the continuous-profiling pieces:
+:mod:`repro.obs.profiler` (folded-stack sampling profiler),
+:mod:`repro.obs.resources` (RSS / fd / GC telemetry — its scrape-time
+collector and GC hook are installed on the default registry at
+import), and :mod:`repro.obs.bench` (the ``BENCH_TRAJECTORY.jsonl``
+perf ledger and the ``repro bench compare`` regression gate).
 """
 
+from .bench import (
+    BenchRecorder,
+    compare_trajectory,
+    inject_slowdown,
+    load_tolerances,
+    load_trajectory,
+)
+from .profiler import (
+    SamplingProfiler,
+    active_profiler,
+    attach_profile,
+    collect_profile,
+    merge_folded,
+    render_folded,
+    top_frames,
+)
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -18,6 +41,11 @@ from .registry import (
     get_registry,
     register_page_cache,
     set_registry,
+)
+from .resources import (
+    install_gc_telemetry,
+    register_resource_collector,
+    resource_snapshot,
 )
 from .slowlog import SLOWLOG, log_slow_query
 from .trace import (
@@ -44,6 +72,21 @@ __all__ = [
     "register_page_cache",
     "SLOWLOG",
     "log_slow_query",
+    "SamplingProfiler",
+    "active_profiler",
+    "attach_profile",
+    "collect_profile",
+    "merge_folded",
+    "render_folded",
+    "top_frames",
+    "resource_snapshot",
+    "register_resource_collector",
+    "install_gc_telemetry",
+    "BenchRecorder",
+    "compare_trajectory",
+    "inject_slowdown",
+    "load_tolerances",
+    "load_trajectory",
     "Span",
     "TraceSampler",
     "start_trace",
@@ -55,3 +98,10 @@ __all__ = [
     "stage_totals",
     "stage_breakdown",
 ]
+
+# Resource telemetry is on by default: the scrape-time collector costs
+# nothing between scrapes, and the GC hook costs two timestamps per
+# collection. Forked serving workers inherit both; worker GC series
+# ride home in the ordinary metrics deltas.
+register_resource_collector(get_registry())
+install_gc_telemetry()

@@ -1,0 +1,471 @@
+"""Bench trajectory: schema-versioned perf records + regression gate.
+
+Every perf claim in this repo used to live in a ``BENCH_*.json``
+snapshot — the *latest* number, with no history, no environment
+fingerprint, and no gate: a 2x slowdown merged silently. This module
+turns those snapshots into a **trajectory**: an append-only JSONL
+ledger (``BENCH_TRAJECTORY.jsonl`` at the repo root) every benchmark
+suite writes through, plus a comparator with per-metric tolerance
+bands that exits nonzero on regression (the CI ``bench-gate`` job).
+
+Record schema (``schema`` = :data:`SCHEMA_VERSION`)::
+
+    {"schema": 1, "suite": "serving", "unix_time": 1754640000.0,
+     "git_sha": "7087b09...",                  # null outside a repo
+     "machine": {"platform": ..., "python": ..., "cpu_count": ...,
+                 "cpu_model": ..., "mem_total_bytes": ...},
+     "seed": 7, "workload": "10k-BA hotspot",  # null when n/a
+     "metrics": {"throughput_rps": 9514.2, "p50_ms": 1.8,
+                 "oracle_mismatches": 0},
+     "extra": {...}}                           # optional free-form
+
+Only ``metrics`` is compared; everything else is provenance — a
+number without a named, regenerable workload and an environment
+fingerprint is not a perf claim (the SynQL discipline).
+
+Comparison model: records group by ``suite``; the newest record is
+diffed against the **previous** record of the same suite (the
+recorded baseline). Per metric, the tolerance file resolves a rule —
+``max_ratio`` / ``min_ratio`` (relative to baseline) or ``max_value``
+/ ``min_value`` (absolute) — by exact name first, then ``fnmatch``
+pattern, suite-specific rules before global ones. Metrics present
+only on one side are reported but never fail the gate (suites may
+grow metrics); a suite with a single record passes trivially with a
+"no baseline" note.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "SCHEMA_VERSION", "TRAJECTORY_NAME", "BenchRecorder",
+    "machine_fingerprint", "git_sha", "validate_record",
+    "load_trajectory", "append_record", "load_tolerances",
+    "compare_trajectory", "inject_slowdown", "format_comparisons",
+    "Comparison",
+]
+
+SCHEMA_VERSION = 1
+
+#: Conventional ledger filename at the repo root.
+TRAJECTORY_NAME = "BENCH_TRAJECTORY.jsonl"
+
+#: Fields every record must carry (see module docstring).
+_REQUIRED = ("schema", "suite", "unix_time", "machine", "metrics")
+
+#: Metric-name patterns scaled by :func:`inject_slowdown` — the
+#: "timings" of a record (lower is better).
+_TIMING_PATTERNS = ("*_ms", "*_seconds", "*_s")
+
+
+# ----------------------------------------------------------------------
+# Provenance
+# ----------------------------------------------------------------------
+
+def git_sha(root: Optional[Path] = None) -> Optional[str]:
+    """The checkout's commit sha, or ``None`` outside a git repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+def _cpu_model() -> Optional[str]:
+    try:
+        with open("/proc/cpuinfo", "r") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.partition(":")[2].strip()
+    except OSError:
+        pass
+    return platform.processor() or None
+
+
+def _mem_total_bytes() -> Optional[int]:
+    try:
+        with open("/proc/meminfo", "r") as handle:
+            for line in handle:
+                if line.startswith("MemTotal:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Environment fingerprint recorded with every bench record."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
+        "mem_total_bytes": _mem_total_bytes(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+
+def validate_record(record: Any) -> Dict[str, Any]:
+    """Structural validation; returns the record or raises ReproError."""
+    if not isinstance(record, dict):
+        raise ReproError(
+            f"bench record must be a JSON object, got "
+            f"{type(record).__name__}")
+    missing = [key for key in _REQUIRED if key not in record]
+    if missing:
+        raise ReproError(
+            f"bench record is missing {missing} (suite="
+            f"{record.get('suite')!r})")
+    if record["schema"] != SCHEMA_VERSION:
+        raise ReproError(
+            f"bench record schema {record['schema']!r} != "
+            f"{SCHEMA_VERSION} (suite={record.get('suite')!r})")
+    if not isinstance(record["suite"], str) or not record["suite"]:
+        raise ReproError("bench record 'suite' must be a non-empty "
+                         "string")
+    metrics = record["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        raise ReproError(
+            f"bench record 'metrics' must be a non-empty object "
+            f"(suite={record['suite']!r})")
+    for name, value in metrics.items():
+        if isinstance(value, bool) or \
+                not isinstance(value, (int, float)):
+            raise ReproError(
+                f"metric {name!r} of suite {record['suite']!r} is "
+                f"not a number: {value!r}")
+    if not isinstance(record["machine"], dict):
+        raise ReproError("bench record 'machine' must be an object")
+    return record
+
+
+@dataclass
+class BenchRecorder:
+    """Accumulates one suite's metrics, then appends a record.
+
+    Every ``benchmarks/test_*.py`` suite writes its trajectory record
+    through this class (via ``_bench.record_suite``), so the schema
+    and provenance fields cannot drift per suite::
+
+        recorder = BenchRecorder("serving", seed=7,
+                                 workload="10k-BA hotspot")
+        recorder.add("throughput_rps", 9514.2)
+        recorder.add_many({"p50_ms": 1.8, "p99_ms": 6.0})
+        recorder.set_mismatches(0)
+        recorder.append(path)      # one JSONL line, validated
+    """
+
+    suite: str
+    seed: Optional[int] = None
+    workload: Optional[str] = None
+    extra: Optional[Dict[str, Any]] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, value: float) -> "BenchRecorder":
+        self.metrics[str(name)] = float(value)
+        return self
+
+    def add_many(self, metrics: Dict[str, Any]) -> "BenchRecorder":
+        for name, value in metrics.items():
+            self.add(name, value)
+        return self
+
+    def set_mismatches(self, count: int) -> "BenchRecorder":
+        """Oracle-mismatch count (gated at 0 by the tolerance file)."""
+        return self.add("oracle_mismatches", int(count))
+
+    def record(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "suite": self.suite,
+            "unix_time": time.time(),
+            "git_sha": git_sha(),
+            "machine": machine_fingerprint(),
+            "seed": self.seed,
+            "workload": self.workload,
+            "metrics": dict(self.metrics),
+        }
+        if self.extra:
+            record["extra"] = dict(self.extra)
+        return validate_record(record)
+
+    def append(self, path) -> Dict[str, Any]:
+        return append_record(path, self.record())
+
+
+def append_record(path, record: Dict[str, Any]) -> Dict[str, Any]:
+    """Append one validated record as a JSONL line (atomic enough:
+    a single ``write`` of one line in append mode)."""
+    validate_record(record)
+    line = json.dumps(record, sort_keys=True) + "\n"
+    with open(path, "a") as handle:
+        handle.write(line)
+    return record
+
+
+def load_trajectory(path) -> List[Dict[str, Any]]:
+    """All records of a trajectory file, in file (= time) order.
+
+    Every line must parse and validate — a corrupt ledger should fail
+    the gate loudly, not skip silently.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for number, line in enumerate(
+            path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{path}:{number}: invalid JSON in trajectory: {exc}")
+        try:
+            records.append(validate_record(payload))
+        except ReproError as exc:
+            raise ReproError(f"{path}:{number}: {exc}")
+    return records
+
+
+def _by_suite(records: Iterable[Dict[str, Any]]
+              ) -> Dict[str, List[Dict[str, Any]]]:
+    suites: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        suites.setdefault(record["suite"], []).append(record)
+    return suites
+
+
+# ----------------------------------------------------------------------
+# Tolerances and comparison
+# ----------------------------------------------------------------------
+
+#: Recognized rule keys in a tolerance entry.
+_RULE_KEYS = ("max_ratio", "min_ratio", "max_value", "min_value")
+
+#: Built-in fallback for timing metrics with no explicit rule: the
+#: gate trips on a 1.5x slowdown even without a tolerance file, so
+#: `repro bench compare` is useful out of the box (an injected 2x
+#: slowdown must fail). Override per metric (or with a ``"default"``
+#: entry) in the tolerance file.
+_DEFAULT_TIMING_RULE = {"max_ratio": 1.5}
+
+
+def load_tolerances(path) -> Dict[str, Any]:
+    """Load and sanity-check a tolerance file (see module docstring)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read tolerance file: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: invalid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: tolerance file must be an object")
+    for scope in (payload.get("metrics", {}),
+                  *(suite.get("metrics", {}) for suite in
+                    payload.get("suites", {}).values())):
+        for pattern, rule in scope.items():
+            if not isinstance(rule, dict) or not rule:
+                raise ReproError(
+                    f"{path}: rule for {pattern!r} must be a "
+                    f"non-empty object")
+            unknown = set(rule) - set(_RULE_KEYS)
+            if unknown:
+                raise ReproError(
+                    f"{path}: rule for {pattern!r} has unknown keys "
+                    f"{sorted(unknown)} (expected {_RULE_KEYS})")
+    return payload
+
+
+def _resolve_rule(tolerances: Dict[str, Any], suite: str,
+                  metric: str) -> Optional[Dict[str, float]]:
+    """Suite-exact > suite-pattern > global-exact > global-pattern >
+    default; first hit wins."""
+    scopes = []
+    suite_rules = tolerances.get("suites", {}).get(suite, {})
+    scopes.append(suite_rules.get("metrics", {}))
+    scopes.append(tolerances.get("metrics", {}))
+    for scope in scopes:
+        if metric in scope:
+            return scope[metric]
+    for scope in scopes:
+        for pattern, rule in scope.items():
+            if fnmatch(metric, pattern):
+                return rule
+    default = tolerances.get("default")
+    if default is not None:
+        return default
+    if any(fnmatch(metric, pattern) for pattern in _TIMING_PATTERNS):
+        return dict(_DEFAULT_TIMING_RULE)
+    return None
+
+
+@dataclass
+class Comparison:
+    """One metric's newest-vs-baseline outcome."""
+
+    suite: str
+    metric: str
+    baseline: Optional[float]
+    new: Optional[float]
+    rule: Optional[Dict[str, float]]
+    ok: bool
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline and self.new is not None \
+                and self.baseline > 0:
+            return self.new / self.baseline
+        return None
+
+
+def _compare_metric(suite: str, metric: str, baseline: Optional[float],
+                    new: Optional[float],
+                    rule: Optional[Dict[str, float]]) -> Comparison:
+    if new is None or baseline is None:
+        return Comparison(suite, metric, baseline, new, rule, True,
+                          "only on one side (informational)")
+    if not rule:
+        return Comparison(suite, metric, baseline, new, rule, True,
+                          "no rule")
+    failures = []
+    if "max_value" in rule and new > rule["max_value"]:
+        failures.append(f"value {new:g} > max_value "
+                        f"{rule['max_value']:g}")
+    if "min_value" in rule and new < rule["min_value"]:
+        failures.append(f"value {new:g} < min_value "
+                        f"{rule['min_value']:g}")
+    if baseline > 0:
+        ratio = new / baseline
+        if "max_ratio" in rule and ratio > rule["max_ratio"]:
+            failures.append(f"ratio {ratio:.3f} > max_ratio "
+                            f"{rule['max_ratio']:g}")
+        if "min_ratio" in rule and ratio < rule["min_ratio"]:
+            failures.append(f"ratio {ratio:.3f} < min_ratio "
+                            f"{rule['min_ratio']:g}")
+    return Comparison(suite, metric, baseline, new, rule,
+                      not failures, "; ".join(failures))
+
+
+def compare_trajectory(trajectory_path, tolerances: Dict[str, Any], *,
+                       suites: Optional[List[str]] = None
+                       ) -> Tuple[List[Comparison], List[str]]:
+    """Diff each suite's newest record against its recorded baseline.
+
+    Returns ``(comparisons, notes)``; the gate fails iff any
+    comparison has ``ok=False``. ``suites`` restricts the check.
+    """
+    records = load_trajectory(trajectory_path)
+    if not records:
+        return [], [f"{trajectory_path}: empty trajectory — "
+                    f"nothing to compare"]
+    comparisons: List[Comparison] = []
+    notes: List[str] = []
+    for suite, history in sorted(_by_suite(records).items()):
+        if suites is not None and suite not in suites:
+            continue
+        if len(history) < 2:
+            notes.append(f"{suite}: single record, no baseline yet")
+            continue
+        baseline, newest = history[-2], history[-1]
+        if baseline["machine"].get("cpu_model") != \
+                newest["machine"].get("cpu_model"):
+            notes.append(
+                f"{suite}: baseline and newest ran on different "
+                f"machines ({baseline['machine'].get('cpu_model')!r} "
+                f"vs {newest['machine'].get('cpu_model')!r}) — "
+                f"ratios are indicative only")
+        names = sorted(set(baseline["metrics"]) | set(newest["metrics"]))
+        for metric in names:
+            comparisons.append(_compare_metric(
+                suite, metric,
+                baseline["metrics"].get(metric),
+                newest["metrics"].get(metric),
+                _resolve_rule(tolerances, suite, metric)))
+    return comparisons, notes
+
+
+def format_comparisons(comparisons: List[Comparison],
+                       notes: List[str], *,
+                       verbose: bool = False) -> str:
+    """Human-readable gate report (violations always, rest behind
+    ``verbose``)."""
+    lines: List[str] = []
+    for note in notes:
+        lines.append(f"note: {note}")
+    failures = [c for c in comparisons if not c.ok]
+    shown = comparisons if verbose else failures
+    for c in shown:
+        ratio = f" ({c.ratio:.3f}x)" if c.ratio is not None else ""
+        status = "OK  " if c.ok else "FAIL"
+        lines.append(
+            f"{status} {c.suite}/{c.metric}: baseline={c.baseline!r} "
+            f"new={c.new!r}{ratio}"
+            + (f" — {c.note}" if c.note and (verbose or not c.ok)
+               else ""))
+    checked = sum(1 for c in comparisons if c.rule)
+    lines.append(
+        f"{len(failures)} regression(s) across {len(comparisons)} "
+        f"compared metric(s) ({checked} under a tolerance rule)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Gate self-test support
+# ----------------------------------------------------------------------
+
+def inject_slowdown(trajectory_path, *, suite: Optional[str] = None,
+                    scale: float = 2.0) -> Dict[str, Any]:
+    """Append a synthetic regression record (the gate's self-test).
+
+    Clones the newest record of ``suite`` (default: the suite of the
+    newest record overall), multiplies its timing metrics
+    (``*_ms`` / ``*_seconds`` / ``*_s``) by ``scale``, and appends the
+    clone. A gate that does not fail on the result is broken.
+    """
+    records = load_trajectory(trajectory_path)
+    if not records:
+        raise ReproError(
+            f"{trajectory_path}: empty trajectory, nothing to inject "
+            f"a slowdown into")
+    candidates = ([r for r in records if r["suite"] == suite]
+                  if suite is not None else records)
+    if not candidates:
+        raise ReproError(
+            f"{trajectory_path}: no records for suite {suite!r}")
+    source = candidates[-1]
+    doctored = json.loads(json.dumps(source))  # deep copy
+    scaled = 0
+    for name in list(doctored["metrics"]):
+        if any(fnmatch(name, pattern) for pattern in _TIMING_PATTERNS):
+            doctored["metrics"][name] *= scale
+            scaled += 1
+    if not scaled:
+        raise ReproError(
+            f"newest {source['suite']!r} record has no timing metrics "
+            f"({_TIMING_PATTERNS}) to scale")
+    doctored["unix_time"] = time.time()
+    doctored.setdefault("extra", {})["injected_slowdown"] = scale
+    return append_record(trajectory_path, doctored)

@@ -59,6 +59,77 @@ DEFAULT_LATENCY_BUCKETS = (
 #: Label set as a hashable, order-independent key component.
 _Labels = Tuple[Tuple[str, str], ...]
 
+#: Per-thread nesting depth of metric critical sections. In-process
+#: hooks that can fire at *arbitrary allocation points* — the
+#: ``gc.callbacks`` pause hook — must check
+#: :func:`in_critical_section` and drop their sample when it is set:
+#: registry and instrument locks are non-reentrant, and metric code
+#: allocates while holding them, so a GC landing inside a locked
+#: section would self-deadlock the thread if its callback touched the
+#: registry again (observed as a single-thread futex wait).
+#:
+#: Only the *registry* lock and the scrape/flush/merge surfaces mark
+#: the depth; the per-instrument ``inc``/``observe`` hot path keeps a
+#: bare C lock (the overhead budget is 5% on a 1024-inc batch). That
+#: is sufficient: the hook only touches ``gc_*`` instruments, and the
+#: only code paths that lock *those* are the hook itself (collections
+#: are serialized, so it never interrupts itself) and the marked
+#: scrape/flush/merge loops.
+
+
+class _Tls(threading.local):
+    depth = 0
+
+
+_tls = _Tls()
+
+
+class _ObsLock:
+    """``threading.Lock`` that tracks this thread's nesting depth.
+
+    Depth is raised *before* acquiring and lowered *after* releasing,
+    so every race errs toward :func:`in_critical_section` reading
+    ``True`` — a hook drops one sample instead of deadlocking.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __enter__(self) -> "_ObsLock":
+        _tls.depth += 1
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._lock.release()
+        _tls.depth -= 1
+
+
+class _CriticalMark:
+    """Raises the thread's critical depth without taking any lock.
+
+    Wraps the scrape/flush/merge bodies, whose instrument-lock
+    sections the GC hook must not re-enter.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        _tls.depth += 1
+
+    def __exit__(self, *exc: object) -> None:
+        _tls.depth -= 1
+
+
+_CRITICAL = _CriticalMark()
+
+
+def in_critical_section() -> bool:
+    """True while this thread is inside a metric critical section."""
+    return _tls.depth > 0
+
 
 def _label_key(labels: Dict[str, Any]) -> _Labels:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -190,7 +261,7 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Bucket-interpolated quantile estimate (0 on empty)."""
-        with self._lock:
+        with _CRITICAL, self._lock:
             counts = self._counts.copy()
         total = int(counts.sum())
         if total == 0:
@@ -271,7 +342,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._lock = threading.Lock()
+        self._lock = _ObsLock()
         self._counters: Dict[Tuple[str, _Labels], Counter] = {}
         self._gauges: Dict[Tuple[str, _Labels], Gauge] = {}
         self._histograms: Dict[Tuple[str, _Labels], Histogram] = {}
@@ -354,20 +425,21 @@ class MetricsRegistry:
             histograms = list(self._histograms.values())
         out: Dict[str, Any] = {"counters": {}, "gauges": {},
                                "histograms": {}}
-        for c in counters:
-            out["counters"][_flat_key(c.name, c.labels)] = c.value
-        for g in gauges:
-            out["gauges"][_flat_key(g.name, g.labels)] = g.value
-        for h in histograms:
-            out["histograms"][_flat_key(h.name, h.labels)] = {
-                "count": h.count,
-                "sum": h.sum,
-                "p50": h.quantile(0.5),
-                "p99": h.quantile(0.99),
-            }
-        for kind, name, labels, value in self._collected():
-            bucket = "counters" if kind == "counter" else "gauges"
-            out[bucket][_flat_key(name, _label_key(labels))] = value
+        with _CRITICAL:
+            for c in counters:
+                out["counters"][_flat_key(c.name, c.labels)] = c.value
+            for g in gauges:
+                out["gauges"][_flat_key(g.name, g.labels)] = g.value
+            for h in histograms:
+                out["histograms"][_flat_key(h.name, h.labels)] = {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "p50": h.quantile(0.5),
+                    "p99": h.quantile(0.99),
+                }
+            for kind, name, labels, value in self._collected():
+                bucket = "counters" if kind == "counter" else "gauges"
+                out[bucket][_flat_key(name, _label_key(labels))] = value
         return out
 
     def render_prometheus(self) -> str:
@@ -388,38 +460,42 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {help_text[name]}")
             lines.append(f"# TYPE {name} {kind}")
 
-        for c in sorted(counters, key=lambda i: (i.name, i.labels)):
-            _head(c.name, "counter")
-            lines.append(format_sample(c.name, dict(c.labels), c.value))
-        for g in sorted(gauges, key=lambda i: (i.name, i.labels)):
-            _head(g.name, "gauge")
-            lines.append(format_sample(g.name, dict(g.labels), g.value))
-        for h in sorted(histograms, key=lambda i: (i.name, i.labels)):
-            _head(h.name, "histogram")
-            with h._lock:
-                counts = h._counts.copy()
-                total = h._sum
-            cumulative = 0
-            for bound, bucket_count in zip(h.buckets, counts):
-                cumulative += int(bucket_count)
+        with _CRITICAL:
+            for c in sorted(counters, key=lambda i: (i.name, i.labels)):
+                _head(c.name, "counter")
+                lines.append(
+                    format_sample(c.name, dict(c.labels), c.value))
+            for g in sorted(gauges, key=lambda i: (i.name, i.labels)):
+                _head(g.name, "gauge")
+                lines.append(
+                    format_sample(g.name, dict(g.labels), g.value))
+            for h in sorted(histograms,
+                            key=lambda i: (i.name, i.labels)):
+                _head(h.name, "histogram")
+                with h._lock:
+                    counts = h._counts.copy()
+                    total = h._sum
+                cumulative = 0
+                for bound, bucket_count in zip(h.buckets, counts):
+                    cumulative += int(bucket_count)
+                    labels = dict(h.labels)
+                    labels["le"] = _format_value(bound)
+                    lines.append(format_sample(
+                        f"{h.name}_bucket", labels, cumulative))
                 labels = dict(h.labels)
-                labels["le"] = _format_value(bound)
-                lines.append(format_sample(
-                    f"{h.name}_bucket", labels, cumulative))
-            labels = dict(h.labels)
-            labels["le"] = "+Inf"
-            cumulative += int(counts[-1])
-            lines.append(format_sample(f"{h.name}_bucket", labels,
-                                       cumulative))
-            lines.append(format_sample(f"{h.name}_sum", dict(h.labels),
-                                       total))
-            lines.append(format_sample(f"{h.name}_count",
-                                       dict(h.labels), cumulative))
-        for kind, name, labels, value in sorted(
-                self._collected(),
-                key=lambda s: (s[1], _label_key(s[2]))):
-            _head(name, "counter" if kind == "counter" else "gauge")
-            lines.append(format_sample(name, labels, value))
+                labels["le"] = "+Inf"
+                cumulative += int(counts[-1])
+                lines.append(format_sample(f"{h.name}_bucket", labels,
+                                           cumulative))
+                lines.append(format_sample(f"{h.name}_sum",
+                                           dict(h.labels), total))
+                lines.append(format_sample(f"{h.name}_count",
+                                           dict(h.labels), cumulative))
+            for kind, name, labels, value in sorted(
+                    self._collected(),
+                    key=lambda s: (s[1], _label_key(s[2]))):
+                _head(name, "counter" if kind == "counter" else "gauge")
+                lines.append(format_sample(name, labels, value))
         return "\n".join(lines) + "\n"
 
     # -- fork transport -------------------------------------------------
@@ -437,35 +513,37 @@ class MetricsRegistry:
             counters = list(self._counters.values())
             histograms = list(self._histograms.values())
         deltas: Dict[str, Any] = {}
-        counter_deltas = {}
-        for c in counters:
-            delta = c._take_delta()
-            if delta:
-                counter_deltas[(c.name, c.labels)] = delta
-        if counter_deltas:
-            deltas["counters"] = counter_deltas
-        histogram_deltas = {}
-        for h in histograms:
-            delta = h._take_delta()
-            if delta is not None:
-                histogram_deltas[(h.name, h.labels)] = delta
-        if histogram_deltas:
-            deltas["histograms"] = histogram_deltas
+        with _CRITICAL:
+            counter_deltas = {}
+            for c in counters:
+                delta = c._take_delta()
+                if delta:
+                    counter_deltas[(c.name, c.labels)] = delta
+            if counter_deltas:
+                deltas["counters"] = counter_deltas
+            histogram_deltas = {}
+            for h in histograms:
+                delta = h._take_delta()
+                if delta is not None:
+                    histogram_deltas[(h.name, h.labels)] = delta
+            if histogram_deltas:
+                deltas["histograms"] = histogram_deltas
         return deltas
 
     def merge(self, deltas: Optional[Dict[str, Any]]) -> None:
         """Fold a :meth:`flush_deltas` payload into this registry."""
         if not deltas or not self.enabled:
             return
-        for (name, labels), delta in deltas.get("counters",
-                                                {}).items():
-            self.counter(name, **dict(labels)).inc(delta)
-        for (name, labels), delta in deltas.get("histograms",
-                                                {}).items():
-            histogram = self.histogram(
-                name, buckets=tuple(delta["buckets"]),
-                **dict(labels))
-            histogram._merge_delta(delta)
+        with _CRITICAL:
+            for (name, labels), delta in deltas.get("counters",
+                                                    {}).items():
+                self.counter(name, **dict(labels)).inc(delta)
+            for (name, labels), delta in deltas.get("histograms",
+                                                    {}).items():
+                histogram = self.histogram(
+                    name, buckets=tuple(delta["buckets"]),
+                    **dict(labels))
+                histogram._merge_delta(delta)
 
 
 def _flat_key(name: str, labels: _Labels) -> str:

@@ -18,7 +18,7 @@ plain stdlib logger — applications route/format it like any other
 from __future__ import annotations
 
 import logging
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from .trace import Span, stage_breakdown
 
@@ -29,17 +29,34 @@ SLOWLOG = logging.getLogger("repro.slowlog")
 
 def log_slow_query(u: int, v: int, mode: str, elapsed_ms: float,
                    threshold_ms: float,
-                   root: Optional[Span] = None) -> None:
-    """Emit one slow-query record (see module docstring for shape)."""
+                   root: Optional[Span] = None, *,
+                   extra_stages: Optional[
+                       List[Tuple[str, float]]] = None) -> None:
+    """Emit one slow-query record (see module docstring for shape).
+
+    ``extra_stages`` are ``(name, ms)`` rows prepended to the trace's
+    breakdown — the serving batcher reports queue wait and worker
+    residency this way, since those stages happen outside any worker
+    trace. When the sampled trace carries stack attribution (a
+    running :mod:`repro.obs.profiler` attached its hottest frames),
+    the record ends with a ``profile=frame:count|...`` field.
+    """
+    rows: List[str] = []
+    if extra_stages:
+        rows.extend(f"{name}:{ms:.2f}" for name, ms in extra_stages)
+    profile = None
     if root is not None:
-        stages = ",".join(
-            f"{row['stage']}:{row['ms']:.2f}"
-            for row in stage_breakdown(root)) or "-"
+        rows.extend(f"{row['stage']}:{row['ms']:.2f}"
+                    for row in stage_breakdown(root))
         trace_id = root.trace_id
+        profile = root.attrs.get("profile")
     else:
-        stages = "-"
         trace_id = "-"
-    SLOWLOG.warning(
-        "slow_query trace=%s u=%d v=%d mode=%s ms=%.2f "
-        "threshold_ms=%s stages=%s",
-        trace_id, u, v, mode, elapsed_ms, threshold_ms, stages)
+    stages = ",".join(rows) or "-"
+    message = ("slow_query trace=%s u=%d v=%d mode=%s ms=%.2f "
+               "threshold_ms=%s stages=%s")
+    args = [trace_id, u, v, mode, elapsed_ms, threshold_ms, stages]
+    if profile:
+        message += " profile=%s"
+        args.append(profile)
+    SLOWLOG.warning(message, *args)

@@ -53,6 +53,8 @@ from ..errors import (
     ServingError,
 )
 from ..obs import get_registry
+from ..obs.profiler import merge_folded
+from ..obs.slowlog import log_slow_query
 from ..obs.trace import TraceSampler
 from .pool import BatchMessage, BatchResponse, PairError, WorkerPool
 from .snapshot import SnapshotHandle
@@ -86,6 +88,10 @@ class _Entry:
     #: ``time.monotonic()`` of the first caller's admission; feeds the
     #: ``serving_request_seconds`` end-to-end latency histogram.
     submitted: float = 0.0
+    #: ``time.monotonic()`` of the batch dispatch; ``dispatched -
+    #: submitted`` is the queue wait, the rest of the end-to-end time
+    #: is worker residency (both show up in slow-query records).
+    dispatched: float = 0.0
 
 
 @dataclass
@@ -123,7 +129,8 @@ class Batcher:
                  max_pending: int = 10_000,
                  time_budget: Optional[float] = None,
                  directed: bool = False,
-                 default_mode: str = "spg") -> None:
+                 default_mode: str = "spg",
+                 slow_query_ms: Optional[float] = None) -> None:
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
         if max_delay <= 0:
@@ -140,6 +147,12 @@ class Batcher:
         #: What ``mode=None`` resolves to in the workers' sessions;
         #: decides whether a request's key may be symmetric.
         self.default_mode = default_mode
+        #: End-to-end latency past which a resolved request is logged
+        #: to the slow-query log with its queue-wait / worker-residency
+        #: breakdown (``None`` disables; serving has no worker trace
+        #: for most requests, so this is the parent-side complement of
+        #: the session-level slow log).
+        self.slow_query_ms = slow_query_ms
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._accumulating: Dict[Optional[str], _Accumulating] = {}
@@ -177,6 +190,18 @@ class Batcher:
             "serving_request_seconds",
             help="Admission-to-resolution latency of one "
                  "deduplicated request key.")
+        self._m_queue_wait = registry.histogram(
+            "serving_queue_wait_seconds",
+            help="Admission-to-dispatch wait of one deduplicated "
+                 "request key (time spent coalescing in the batcher "
+                 "before any worker saw it).")
+        #: Worker continuous-profiling state: the hz shipped on every
+        #: dispatched batch, the fleet-wide folded-stack counts merged
+        #: from worker responses, and the newest resource snapshot per
+        #: worker.
+        self._profile_hz = 0.0
+        self._worker_profile: Dict[str, int] = {}
+        self._worker_resources: Dict[int, dict] = {}
         #: Per-batch trace sampling (the HTTP front-end's knob): a
         #: sampled batch is answered under a trace in its worker, and
         #: the stage histograms ride back in the metrics deltas.
@@ -353,6 +378,41 @@ class Batcher:
             "workers_reporting": len(reports),
         }
 
+    def set_profile_hz(self, hz: float) -> None:
+        """Set the worker continuous-profiling rate (``0`` stops).
+
+        Takes effect on the next dispatched batch per worker —
+        activation rides the ordinary request path, exactly like
+        hot-swap epochs, so there is no side-channel to workers.
+        """
+        if hz < 0:
+            raise ServingError("profile hz must be >= 0")
+        with self._lock:
+            self._profile_hz = float(hz)
+
+    @property
+    def profile_hz(self) -> float:
+        return self._profile_hz
+
+    def worker_profile(self, *, take: bool = False) -> Dict[str, int]:
+        """Fleet-wide folded-stack counts merged from worker responses.
+
+        ``take=True`` clears the accumulator (the `/profile` endpoint
+        does, so each profiling window reports only its own samples).
+        """
+        with self._lock:
+            if take:
+                profile, self._worker_profile = \
+                    self._worker_profile, {}
+                return profile
+            return dict(self._worker_profile)
+
+    def worker_resources(self) -> Dict[int, dict]:
+        """Newest resource snapshot per worker id."""
+        with self._lock:
+            return {worker_id: dict(snapshot) for worker_id, snapshot
+                    in self._worker_resources.items()}
+
     def close(self, timeout: float = 10.0) -> None:
         """Drain what's possible, then fail anything still pending."""
         self.drain(timeout=timeout)
@@ -419,9 +479,14 @@ class Batcher:
         self._inflight[batch_id] = _InFlight(mode=mode, keys=keys,
                                              entries=live)
         self._count("batches")
+        for entry in live.values():
+            entry.dispatched = now
+            if entry.submitted:
+                self._m_queue_wait.observe(now - entry.submitted)
         self._pool.submit(BatchMessage(
             batch_id, handle, mode, tuple(keys),
-            trace=self.trace_sampler.should_sample()))
+            trace=self.trace_sampler.should_sample(),
+            profile_hz=self._profile_hz))
 
     # ------------------------------------------------------------------
     # Collection (pool -> futures)
@@ -446,6 +511,12 @@ class Batcher:
                     # fresh worker discards its inherited baseline
                     # before its first batch).
                     self._registry.merge(response.metrics)
+                if response.profile:
+                    merge_folded(self._worker_profile,
+                                 response.profile)
+                if response.resources is not None:
+                    self._worker_resources[response.worker_id] = \
+                        response.resources
                 inflight = self._inflight.pop(response.batch_id, None)
                 if inflight is None:  # resolved by close()
                     continue
@@ -485,12 +556,17 @@ class Batcher:
             "alive=%d/%d",
             ",".join(map(str, respawned)), handle.epoch,
             len(self._inflight), pool.alive_workers, pool.num_workers)
+        # A dead worker's profile deltas died with it; drop its stale
+        # resource snapshot so `/stats` doesn't report a ghost pid.
+        for slot in respawned:
+            self._worker_resources.pop(slot, None)
         inflight, self._inflight = self._inflight, {}
         for batch in inflight.values():
             new_id = next(self._batch_ids)
             self._inflight[new_id] = batch
             pool.submit(BatchMessage(new_id, handle, batch.mode,
-                                     tuple(batch.keys)))
+                                     tuple(batch.keys),
+                                     profile_hz=self._profile_hz))
 
     def _handle_batch_error_locked(self, batch_id: int,
                                    inflight: _InFlight,
@@ -509,7 +585,8 @@ class Batcher:
             self._inflight[new_id] = inflight
             self._pool.submit(BatchMessage(
                 new_id, handle, inflight.mode,
-                tuple(inflight.keys)))
+                tuple(inflight.keys),
+                profile_hz=self._profile_hz))
             return
         failure = ServingError(f"batch failed in worker: {error}")
         for entry in inflight.entries.values():
@@ -518,6 +595,8 @@ class Batcher:
     def _resolve_locked(self, inflight: _InFlight,
                         response) -> None:
         now = time.monotonic()
+        mode = (inflight.mode if inflight.mode is not None
+                else self.default_mode)
         for key, value in zip(inflight.keys, response.values):
             entry = inflight.entries[key]
             if isinstance(value, PairError):
@@ -531,7 +610,12 @@ class Batcher:
                 continue
             answer = Answer(value, response.epoch)
             if entry.submitted:
-                self._m_request_seconds.observe(now - entry.submitted)
+                elapsed = now - entry.submitted
+                self._m_request_seconds.observe(elapsed)
+                if (self.slow_query_ms is not None
+                        and elapsed * 1e3 >= self.slow_query_ms):
+                    self._log_slow_locked(key, mode, entry, elapsed,
+                                          response)
             for future in entry.futures:
                 self._pending -= 1
                 self._count("answered")
@@ -539,6 +623,23 @@ class Batcher:
                     future.set_result(answer)
                 except InvalidStateError:  # caller cancelled
                     pass
+
+    def _log_slow_locked(self, key: Tuple[int, int], mode: str,
+                         entry: _Entry, elapsed: float,
+                         response) -> None:
+        """Slow-query record with the serving-side stage breakdown.
+
+        Queue wait and worker residency are the two stages the worker
+        trace cannot see (they happen in the parent); worker residency
+        is the whole batch's wall time, an upper bound for this key.
+        """
+        stages = [("batch.worker", response.seconds * 1e3)]
+        if entry.dispatched and entry.submitted:
+            stages.insert(0, ("queue.wait",
+                              (entry.dispatched - entry.submitted)
+                              * 1e3))
+        log_slow_query(key[0], key[1], mode, elapsed * 1e3,
+                       self.slow_query_ms, None, extra_stages=stages)
 
     def _fail_entry_locked(self, entry: _Entry, error: Exception, *,
                            expired: bool = False) -> None:

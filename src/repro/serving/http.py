@@ -8,8 +8,11 @@ dependency — ``http.server`` plus ``json``.
 Endpoints:
 
 ``GET /healthz``
-    ``{"ok": true, "epoch": N, "workers": M}`` — liveness plus the
-    serving epoch.
+    Readiness probe: ``{"ok": true, "epoch": N, "workers": M,
+    "alive_workers": M, "dead_workers": 0, "pending": Q, ...}`` with
+    status 200 while at least one worker is alive, 503 otherwise —
+    load balancers can eject a replica whose worker fleet died
+    without parsing the body.
 ``GET /stats``
     The service's counters (submitted/answered/deduplicated/...,
     pool and snapshot gauges). When the service runs ``store="mmap"``
@@ -27,6 +30,14 @@ Endpoints:
     Read / set the per-batch trace sampling rate: body
     ``{"rate": 0.25}``, reply ``{"rate": 0.25}``. Sampled batches
     populate the ``stage_seconds{stage=...}`` histograms.
+``GET /profile?seconds=N``
+    Run the sampling profiler for ``N`` seconds (default 2, capped at
+    120) and return folded stacks — ``path:func;path:func count``
+    lines, pipe them straight into ``flamegraph.pl`` or speedscope.
+    ``&hz=H`` tunes the sampling rate, ``&workers=1`` profiles the
+    worker fleet through the batch channel instead of the front-end
+    process, ``&format=json`` wraps the counts in JSON with a
+    hottest-frames roll-up.
 ``POST /query``
     Body ``{"u": 1, "v": 2, "mode": "distance"}`` for one query, or
     ``{"pairs": [[1, 2], [3, 4]], "mode": "spg"}`` for a burst.
@@ -51,6 +62,7 @@ import threading
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from ..errors import (
     ImmutableIndexError,
@@ -60,6 +72,7 @@ from ..errors import (
     ServiceOverloadedError,
     VertexError,
 )
+from ..obs.profiler import DEFAULT_HZ, render_folded, top_frames
 from .service import QueryService
 
 __all__ = ["ServingHTTPServer", "make_server", "render_value"]
@@ -128,18 +141,62 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         service = self.server.service
-        if self.path == "/healthz":
-            self._reply(200, {"ok": True, "epoch": service.epoch,
-                              "workers": service.num_workers})
-        elif self.path == "/stats":
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
+            health = service.health()
+            self._reply(200 if health.get("ok") else 503, health)
+        elif parts.path == "/stats":
             self._reply(200, service.stats())
-        elif self.path == "/metrics":
+        elif parts.path == "/metrics":
             self._reply_text(200, service.metrics_text(),
                              "text/plain; version=0.0.4; charset=utf-8")
-        elif self.path == "/trace":
+        elif parts.path == "/trace":
             self._reply(200, {"rate": service.trace_rate})
+        elif parts.path == "/profile":
+            self._do_profile(parse_qs(parts.query))
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    #: Longest accepted ``/profile`` window — the handler thread
+    #: blocks for the duration, so cap it well under any sane LB
+    #: timeout.
+    _MAX_PROFILE_SECONDS = 120.0
+
+    def _do_profile(self, params: Dict[str, List[str]]) -> None:
+        try:
+            seconds = float(params.get("seconds", ["2"])[0])
+            hz = float(params.get("hz", [str(DEFAULT_HZ)])[0])
+        except ValueError:
+            self._reply(400, {"error": "bad request: 'seconds' and "
+                                       "'hz' must be numbers"})
+            return
+        if not 0 < seconds <= self._MAX_PROFILE_SECONDS:
+            self._reply(400, {
+                "error": f"bad request: 'seconds' must be in "
+                         f"(0, {self._MAX_PROFILE_SECONDS:.0f}]"})
+            return
+        if not 0 < hz <= 1000:
+            self._reply(400, {"error": "bad request: 'hz' must be in "
+                                       "(0, 1000]"})
+            return
+        workers = params.get("workers", ["0"])[0].lower() \
+            not in ("", "0", "false", "no")
+        try:
+            counts = self.server.service.profile(seconds, hz,
+                                                 workers=workers)
+        except ReproError as exc:
+            self._reply(500, {"error": str(exc)})
+            return
+        if params.get("format", ["folded"])[0] == "json":
+            self._reply(200, {
+                "seconds": seconds, "hz": hz, "workers": workers,
+                "samples": sum(counts.values()),
+                "folded": counts,
+                "top": top_frames(counts, 10),
+            })
+        else:
+            self._reply_text(200, render_folded(counts),
+                             "text/plain; charset=utf-8")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/query":

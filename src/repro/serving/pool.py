@@ -33,12 +33,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue
+import time
 from typing import List, NamedTuple, Optional, Tuple
 
 from .._util import Stopwatch
 from ..engine.session import QueryOptions, QuerySession
 from ..errors import ReproError, ServingError, VertexError
 from ..obs import get_registry, start_trace
+from ..obs.profiler import SamplingProfiler, merge_folded
+from ..obs.resources import resource_snapshot
 from .snapshot import SnapshotHandle, materialize_snapshot
 
 __all__ = ["WorkerPool", "BatchMessage", "BatchResponse", "PairError",
@@ -67,6 +70,12 @@ class BatchMessage(NamedTuple):
     #: worker's ``stage_seconds`` histograms, which ride back to the
     #: parent registry in the response's ``metrics`` deltas.
     trace: bool = False
+    #: Continuous-profiling activation flag: ``> 0`` keeps a
+    #: :class:`~repro.obs.profiler.SamplingProfiler` running in the
+    #: worker at this rate (started/retuned on the message that flips
+    #: it), ``0`` stops it. Accumulated folded-stack deltas ride home
+    #: in :attr:`BatchResponse.profile` on every response.
+    profile_hz: float = 0.0
 
 
 class BatchResponse(NamedTuple):
@@ -87,6 +96,15 @@ class BatchResponse(NamedTuple):
     #: (:meth:`repro.obs.MetricsRegistry.flush_deltas`); the batcher
     #: merges them into the parent registry. ``None`` when empty.
     metrics: Optional[dict] = None
+    #: Folded-stack profile deltas since the previous response, when
+    #: the worker's sampling profiler is (or was just) active — the
+    #: batcher merges them into its fleet-wide profile. ``None`` when
+    #: no samples accumulated.
+    profile: Optional[dict] = None
+    #: Point-in-time :func:`repro.obs.resources.resource_snapshot` of
+    #: the worker process, rate-limited to ~1/s; the batcher keeps the
+    #: newest per worker. ``None`` between refreshes.
+    resources: Optional[dict] = None
 
 
 class PairError(NamedTuple):
@@ -145,6 +163,49 @@ def _answer_batch(session: QuerySession, pairs, mode: Optional[str],
     return values
 
 
+class _WorkerProfile:
+    """Worker-side profiler lifecycle, driven by ``profile_hz`` flags.
+
+    The profiler keeps running *between* batches once activated — the
+    point of continuous profiling is that queue-idle and
+    re-materialization stacks show up too — and every response ships
+    the folded-stack deltas accumulated so far. Samples taken after
+    the stop flag but before the next batch ship with that batch.
+    """
+
+    def __init__(self) -> None:
+        self._profiler: Optional[SamplingProfiler] = None
+        self._pending: dict = {}
+
+    def update(self, hz: float) -> None:
+        """Start/retune/stop the profiler to match the requested hz."""
+        if hz > 0:
+            if (self._profiler is None
+                    or abs(self._profiler.hz - hz) > 1e-9):
+                self._retire()
+                self._profiler = SamplingProfiler(hz).start()
+        else:
+            self._retire()
+
+    def _retire(self) -> None:
+        if self._profiler is not None:
+            self._profiler.stop()
+            merge_folded(self._pending, self._profiler.flush_folded())
+            self._profiler = None
+
+    def flush(self) -> Optional[dict]:
+        """Deltas since the previous flush (``None`` if empty)."""
+        if self._profiler is not None:
+            merge_folded(self._pending, self._profiler.flush_folded())
+        pending, self._pending = self._pending, {}
+        return pending or None
+
+
+#: Seconds between worker resource snapshots (reading ``/proc`` per
+#: batch would tax the hot path for data that changes slowly).
+_RESOURCE_INTERVAL = 1.0
+
+
 def _worker_main(worker_id: int, requests, responses,
                  handle: SnapshotHandle, options: QueryOptions) -> None:
     """Worker process body: materialize, then serve batches forever."""
@@ -170,6 +231,8 @@ def _worker_main(worker_id: int, requests, responses,
     # the first real flush ships only this worker's own query work.
     registry.flush_deltas()
     responses.put(_Ready(worker_id, None))
+    profile = _WorkerProfile()
+    resources_at = 0.0
     while True:
         try:
             message = requests.get()
@@ -177,7 +240,17 @@ def _worker_main(worker_id: int, requests, responses,
             break
         if message is _SHUTDOWN:
             break
-        batch_id, handle, mode, pairs, trace = message
+        batch_id = message.batch_id
+        handle = message.handle
+        mode = message.mode
+        pairs = message.pairs
+        trace = message.trace
+        profile.update(message.profile_hz)
+        now = time.monotonic()
+        resources = None
+        if now - resources_at >= _RESOURCE_INTERVAL:
+            resources_at = now
+            resources = resource_snapshot()
         with Stopwatch() as sw:
             try:
                 if handle.epoch != epoch:
@@ -200,14 +273,16 @@ def _worker_main(worker_id: int, requests, responses,
                 responses.put(BatchResponse(
                     batch_id, handle.epoch, worker_id, None,
                     f"{type(exc).__name__}: {exc}", sw.elapsed, 0,
-                    None, registry.flush_deltas() or None))
+                    None, registry.flush_deltas() or None,
+                    profile.flush(), resources))
                 continue
         store_stats = getattr(index, "store_stats", None)
         responses.put(BatchResponse(
             batch_id, epoch, worker_id, values, None, sw.elapsed,
             session.cache_hits_total - hits_before,
             store_stats() if store_stats is not None else None,
-            registry.flush_deltas() or None))
+            registry.flush_deltas() or None,
+            profile.flush(), resources))
 
 
 class WorkerPool:
@@ -257,8 +332,10 @@ class WorkerPool:
             raise ServingError("worker pool already started")
         self._started = True
         for worker_id in range(self.num_workers):
-            queue, process = self._spawn(worker_id, handle)
-            self._request_queues.append(queue)
+            # NB: do not name this local `queue` — `except queue.Empty`
+            # below needs the module.
+            requests, process = self._spawn(worker_id, handle)
+            self._request_queues.append(requests)
             self._processes.append(process)
         failures = []
         for _ in range(self.num_workers):

@@ -34,6 +34,7 @@ even while the graph evolves.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -46,7 +47,9 @@ from ..errors import (
     VertexError,
 )
 from ..obs import get_registry
+from ..obs.profiler import DEFAULT_HZ, collect_profile
 from ..obs.registry import format_sample
+from ..obs.resources import resource_snapshot
 from .batcher import Answer, Batcher
 from .pool import WorkerPool
 from .snapshot import Snapshot, SnapshotManager
@@ -89,7 +92,11 @@ class QueryService:
                 # orientation-free modes: a (v, u) distance request
                 # coalesces with (u, v).
                 directed=index.is_directed,
-                default_mode=self._options.mode)
+                default_mode=self._options.mode,
+                # The session-level slow log only sees worker-side
+                # time; the batcher's complement logs end-to-end
+                # latency with the queue-wait breakdown.
+                slow_query_ms=self._options.slow_query_ms)
         except BaseException:
             self.close()
             raise
@@ -210,6 +217,32 @@ class QueryService:
         """The graph served at ``epoch`` (for exactness audits)."""
         return self._snapshots.graph_at(epoch)
 
+    def health(self) -> Dict[str, object]:
+        """Readiness probe payload for ``GET /healthz``.
+
+        ``ok`` is the liveness verdict the HTTP front-end maps to
+        200/503: the service is ready iff it is open and at least one
+        worker is alive to answer batches. The rest is the state an
+        operator triages with — snapshot version, live/dead worker
+        counts, queue depth.
+        """
+        if self._closed:
+            return {"ok": False, "error": "service closed"}
+        current = self._snapshots.current
+        batcher_stats = self._batcher.stats()
+        alive = self._pool.alive_workers
+        return {
+            "ok": alive > 0,
+            "epoch": current.handle.epoch,
+            "index_version": current.handle.version,
+            "method": current.handle.method,
+            "workers": self._pool.num_workers,
+            "alive_workers": alive,
+            "dead_workers": self._pool.num_workers - alive,
+            "pending": batcher_stats["pending"],
+            "inflight_batches": batcher_stats["inflight_batches"],
+        }
+
     def stats(self) -> Dict[str, object]:
         """Batcher counters plus pool and snapshot gauges.
 
@@ -233,6 +266,10 @@ class QueryService:
         label_store = self._batcher.label_store_stats()
         if label_store is not None:
             stats["label_store"] = label_store
+        stats["resources"] = {
+            "parent": resource_snapshot(),
+            "workers": self._batcher.worker_resources(),
+        }
         return stats
 
     def metrics_text(self) -> str:
@@ -271,6 +308,23 @@ class QueryService:
             for key in ("resident_bytes", "hit_rate", "hot_fraction",
                         "workers_reporting"):
                 _gauge(f"serving_label_store_{key}", label_store[key])
+        worker_resources = self._batcher.worker_resources()
+        if worker_resources:
+            for key, name in (
+                    ("rss_bytes", "serving_worker_resident_bytes"),
+                    ("peak_rss_bytes",
+                     "serving_worker_peak_resident_bytes"),
+                    ("open_fds", "serving_worker_open_fds")):
+                rows = [(worker_id, snapshot[key]) for worker_id,
+                        snapshot in sorted(worker_resources.items())
+                        if key in snapshot]
+                if not rows:
+                    continue
+                lines.append(f"# TYPE {name} gauge")
+                lines.extend(
+                    format_sample(name, {"worker": worker_id},
+                                  float(value))
+                    for worker_id, value in rows)
         return "\n".join(lines) + "\n"
 
     @property
@@ -288,6 +342,83 @@ class QueryService:
         self._check_open()
         self._batcher.trace_sampler.set_rate(rate)
         return self.trace_rate
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+
+    def profile(self, seconds: float = 2.0,
+                hz: float = DEFAULT_HZ, *,
+                workers: bool = False) -> Dict[str, int]:
+        """Profile for a bounded window; returns folded-stack counts.
+
+        With ``workers=False`` (default) the parent process is sampled
+        — the batcher/dispatcher/HTTP threads, i.e. serving overhead.
+        With ``workers=True`` the window activates the continuous
+        profiler in every worker instead (activation and folded-stack
+        deltas ride the ordinary batch channel), so the counts
+        attribute actual query execution. Worker profiles only
+        accumulate while batches flow; an idle window returns what
+        little shipped with the stop nudge.
+        """
+        self._check_open()
+        if not workers:
+            profiler = collect_profile(seconds, hz)
+            return profiler.folded()
+        batcher = self._batcher
+        batcher.worker_profile(take=True)  # drop stale samples
+        batcher.set_profile_hz(hz)
+        try:
+            time.sleep(seconds)
+        finally:
+            batcher.set_profile_hz(0.0)
+            self._nudge_workers()
+        return batcher.worker_profile(take=True)
+
+    def _nudge_workers(self, timeout: float = 5.0) -> None:
+        """One tiny batch per worker, so every worker sees the current
+        ``profile_hz`` and ships its accumulated profile deltas.
+
+        The pool round-robins batches, so ``num_workers`` single-key
+        batches touch every live worker; responses are merged by the
+        collector before the futures resolve, so waiting on the
+        futures is waiting on the deltas.
+        """
+        if self._snapshots.current.graph.num_vertices < 1:
+            return
+        futures = []
+        for _ in range(self._pool.num_workers):
+            try:
+                futures.append(self._batcher.submit(0, 0, None))
+            except ServingError:
+                break
+            self._batcher.flush()
+        for future in futures:
+            try:
+                future.result(timeout=timeout)
+            except Exception:
+                pass  # the nudge's answer is irrelevant
+
+    @property
+    def profile_hz(self) -> float:
+        """Current worker continuous-profiling rate (0 = off)."""
+        return self._batcher.profile_hz
+
+    def set_profile_hz(self, hz: float) -> float:
+        """Set the worker continuous-profiling rate; returns it.
+
+        Unlike :meth:`profile` this leaves the profiler running —
+        merged folded stacks accumulate in the batcher and can be read
+        (or drained) any time via ``worker_profile``.
+        """
+        self._check_open()
+        self._batcher.set_profile_hz(hz)
+        return self.profile_hz
+
+    def worker_profile(self, *, take: bool = False) -> Dict[str, int]:
+        """Fleet-wide folded-stack counts accumulated so far."""
+        self._check_open()
+        return self._batcher.worker_profile(take=take)
 
     # ------------------------------------------------------------------
     # Lifecycle

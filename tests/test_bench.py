@@ -1,0 +1,293 @@
+"""Bench-trajectory ledger and regression-gate unit tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    BenchRecorder,
+    Comparison,
+    append_record,
+    compare_trajectory,
+    format_comparisons,
+    inject_slowdown,
+    load_tolerances,
+    load_trajectory,
+    machine_fingerprint,
+    validate_record,
+)
+
+
+def _record(suite="demo", **metrics):
+    recorder = BenchRecorder(suite=suite, seed=7, workload="unit")
+    recorder.add_many(metrics or {"p50_ms": 2.0, "qps": 100.0})
+    return recorder
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    return tmp_path / "BENCH_TRAJECTORY.jsonl"
+
+
+class TestRecords:
+    def test_recorder_appends_schema_valid_jsonl(self, ledger):
+        _record().append(ledger)
+        _record().append(ledger)
+        records = load_trajectory(ledger)
+        assert len(records) == 2
+        first = records[0]
+        assert first["schema"] == SCHEMA_VERSION
+        assert first["suite"] == "demo"
+        assert first["seed"] == 7
+        assert first["workload"] == "unit"
+        assert first["metrics"] == {"p50_ms": 2.0, "qps": 100.0}
+        assert set(first["machine"]) == set(machine_fingerprint())
+        # One JSON object per line — jq/pandas ready.
+        lines = ledger.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_set_mismatches_is_a_metric(self, ledger):
+        record = _record().set_mismatches(0).append(ledger)
+        assert record["metrics"]["oracle_mismatches"] == 0
+
+    def test_validate_rejects_malformed(self):
+        good = _record().record()
+        for breakage in (
+            lambda r: r.pop("machine"),
+            lambda r: r.update(schema=99),
+            lambda r: r.update(suite=""),
+            lambda r: r.update(metrics={}),
+            lambda r: r.update(metrics={"x": "fast"}),
+            lambda r: r.update(metrics={"x": True}),
+        ):
+            bad = json.loads(json.dumps(good))
+            breakage(bad)
+            with pytest.raises(ReproError):
+                validate_record(bad)
+        with pytest.raises(ReproError):
+            validate_record(["not", "a", "dict"])
+
+    def test_load_rejects_corrupt_lines(self, ledger):
+        _record().append(ledger)
+        with open(ledger, "a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ReproError, match="invalid JSON"):
+            load_trajectory(ledger)
+        ledger.write_text('{"schema": 1}\n')
+        with pytest.raises(ReproError, match="missing"):
+            load_trajectory(ledger)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_trajectory(tmp_path / "nope.jsonl") == []
+
+
+class TestTolerances:
+    def test_loader_validates_rules(self, tmp_path):
+        path = tmp_path / "tol.json"
+        path.write_text(json.dumps({
+            "metrics": {"*_ms": {"max_ratio": 1.5}},
+            "suites": {"demo": {"metrics":
+                                {"qps": {"min_ratio": 0.5}}}},
+        }))
+        assert "metrics" in load_tolerances(path)
+        path.write_text(json.dumps(
+            {"metrics": {"p50_ms": {"max_weirdness": 2}}}))
+        with pytest.raises(ReproError, match="unknown keys"):
+            load_tolerances(path)
+        path.write_text(json.dumps({"metrics": {"p50_ms": {}}}))
+        with pytest.raises(ReproError, match="non-empty"):
+            load_tolerances(path)
+        path.write_text("[1, 2]")
+        with pytest.raises(ReproError, match="must be an object"):
+            load_tolerances(path)
+        with pytest.raises(ReproError, match="cannot read"):
+            load_tolerances(tmp_path / "nope.json")
+
+    def test_repo_tolerance_file_is_valid(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "benchmarks" \
+            / "tolerances.json"
+        payload = load_tolerances(path)
+        assert payload["metrics"]["oracle_mismatches"] == \
+            {"max_value": 0}
+
+
+class TestCompare:
+    def test_single_record_passes_with_note(self, ledger):
+        _record().append(ledger)
+        comparisons, notes = compare_trajectory(ledger, {})
+        assert comparisons == []
+        assert any("no baseline" in note for note in notes)
+
+    def test_empty_trajectory_notes(self, ledger):
+        comparisons, notes = compare_trajectory(ledger, {})
+        assert comparisons == []
+        assert any("empty trajectory" in note for note in notes)
+
+    def test_timing_regression_fails_without_tolerance_file(
+            self, ledger):
+        """The built-in 1.5x rule gates `*_ms` out of the box."""
+        _record(p50_ms=2.0).append(ledger)
+        _record(p50_ms=4.0).append(ledger)
+        comparisons, _ = compare_trajectory(ledger, {})
+        failed = [c for c in comparisons if not c.ok]
+        assert [c.metric for c in failed] == ["p50_ms"]
+        assert failed[0].ratio == pytest.approx(2.0)
+        assert "max_ratio" in failed[0].note
+
+    def test_non_timing_metric_needs_a_rule(self, ledger):
+        _record(qps=100.0).append(ledger)
+        _record(qps=10.0).append(ledger)
+        comparisons, _ = compare_trajectory(ledger, {})
+        assert all(c.ok for c in comparisons)
+        comparisons, _ = compare_trajectory(
+            ledger, {"metrics": {"*_qps": {"min_ratio": 0.5},
+                                 "qps": {"min_ratio": 0.5}}})
+        assert [c.metric for c in comparisons if not c.ok] == ["qps"]
+
+    def test_rule_precedence_suite_over_global(self, ledger):
+        _record(p50_ms=2.0).append(ledger)
+        _record(p50_ms=3.5).append(ledger)
+        tolerances = {
+            "metrics": {"p50_ms": {"max_ratio": 1.2}},
+            "suites": {"demo": {"metrics":
+                                {"p50_ms": {"max_ratio": 2.0}}}},
+        }
+        comparisons, _ = compare_trajectory(ledger, tolerances)
+        assert all(c.ok for c in comparisons)
+
+    def test_default_entry_overrides_builtin(self, ledger):
+        _record(p50_ms=2.0).append(ledger)
+        _record(p50_ms=4.0).append(ledger)
+        comparisons, _ = compare_trajectory(
+            ledger, {"default": {"max_ratio": 3.0}})
+        assert all(c.ok for c in comparisons)
+
+    def test_absolute_bounds(self, ledger):
+        _record(oracle_mismatches=0.0).append(ledger)
+        _record(oracle_mismatches=2.0).append(ledger)
+        comparisons, _ = compare_trajectory(
+            ledger,
+            {"metrics": {"oracle_mismatches": {"max_value": 0}}})
+        failed = [c for c in comparisons if not c.ok]
+        assert failed and "max_value" in failed[0].note
+
+    def test_one_sided_metrics_are_informational(self, ledger):
+        _record(p50_ms=2.0).append(ledger)
+        _record(p50_ms=2.0, p99_ms=9.0).append(ledger)
+        comparisons, _ = compare_trajectory(ledger, {})
+        one_sided = [c for c in comparisons if c.metric == "p99_ms"]
+        assert one_sided[0].ok
+        assert "one side" in one_sided[0].note
+
+    def test_suites_filter(self, ledger):
+        for suite in ("a", "b"):
+            _record(suite=suite, p50_ms=1.0).append(ledger)
+            _record(suite=suite, p50_ms=9.0).append(ledger)
+        comparisons, _ = compare_trajectory(ledger, {}, suites=["a"])
+        assert {c.suite for c in comparisons} == {"a"}
+
+    def test_cross_machine_note(self, ledger):
+        first = _record().record()
+        second = _record().record()
+        second["machine"] = dict(second["machine"],
+                                 cpu_model="other-cpu")
+        append_record(ledger, first)
+        append_record(ledger, second)
+        _, notes = compare_trajectory(ledger, {})
+        assert any("different machines" in note for note in notes)
+
+    def test_format_mentions_failures(self):
+        comparison = Comparison("demo", "p50_ms", 2.0, 4.0,
+                                {"max_ratio": 1.5}, False,
+                                "ratio 2.000 > max_ratio 1.5")
+        text = format_comparisons([comparison], ["a note"])
+        assert "FAIL demo/p50_ms" in text
+        assert "note: a note" in text
+        assert "1 regression(s)" in text
+
+
+class TestInjectSlowdown:
+    def test_inject_then_gate_fails(self, ledger):
+        _record(p50_ms=2.0).append(ledger)
+        doctored = inject_slowdown(ledger, scale=2.0)
+        assert doctored["metrics"]["p50_ms"] == 4.0
+        assert doctored["extra"]["injected_slowdown"] == 2.0
+        comparisons, _ = compare_trajectory(ledger, {})
+        assert any(not c.ok for c in comparisons)
+
+    def test_inject_needs_records_and_timings(self, ledger):
+        with pytest.raises(ReproError, match="empty trajectory"):
+            inject_slowdown(ledger)
+        _record(qps=5.0).append(ledger)
+        with pytest.raises(ReproError, match="no timing metrics"):
+            inject_slowdown(ledger)
+        with pytest.raises(ReproError, match="no records"):
+            inject_slowdown(ledger, suite="ghost")
+
+
+class TestBenchCLI:
+    def _main(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_compare_gate_exit_codes(self, ledger, capsys):
+        _record(p50_ms=2.0).append(ledger)
+        assert self._main("bench", "list",
+                          "--trajectory", str(ledger)) == 0
+        assert "demo" in capsys.readouterr().out
+        # Single record: trivially green.
+        assert self._main("bench", "compare",
+                          "--trajectory", str(ledger)) == 0
+        # Clean re-run at the same speed: still green.
+        _record(p50_ms=2.0).append(ledger)
+        assert self._main("bench", "compare",
+                          "--trajectory", str(ledger)) == 0
+        capsys.readouterr()
+        # Injected 2x slowdown: the gate must go red.
+        assert self._main("bench", "inject",
+                          "--trajectory", str(ledger),
+                          "--scale", "2.0") == 0
+        assert self._main("bench", "compare",
+                          "--trajectory", str(ledger)) == 1
+        out = capsys.readouterr().out
+        assert "FAIL demo/p50_ms" in out
+
+    def test_compare_with_repo_tolerance_file(self, ledger, capsys):
+        from pathlib import Path
+
+        tolerance = Path(__file__).resolve().parents[1] \
+            / "benchmarks" / "tolerances.json"
+        _record(p50_ms=2.0, qps=100.0).append(ledger)
+        _record(p50_ms=2.0, qps=100.0).append(ledger)
+        assert self._main("bench", "compare",
+                          "--trajectory", str(ledger),
+                          "--tolerance-file", str(tolerance),
+                          "--verbose") == 0
+        assert "OK" in capsys.readouterr().out
+        assert self._main("bench", "inject",
+                          "--trajectory", str(ledger),
+                          "--scale", "3.0") == 0
+        assert self._main("bench", "compare",
+                          "--trajectory", str(ledger),
+                          "--tolerance-file", str(tolerance)) == 1
+
+    def test_compare_corrupt_ledger_is_error(self, ledger, capsys):
+        ledger.write_text("{broken\n")
+        assert self._main("bench", "compare",
+                          "--trajectory", str(ledger)) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_list_filters_by_suite(self, ledger, capsys):
+        _record(suite="a").append(ledger)
+        _record(suite="b").append(ledger)
+        assert self._main("bench", "list", "--trajectory",
+                          str(ledger), "--suite", "a") == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "\nb" not in out

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import logging
 import re
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -26,7 +27,6 @@ from repro.obs import (
     MetricsRegistry,
     TraceSampler,
     format_span_tree,
-    get_registry,
     log_slow_query,
     set_registry,
     span,
@@ -579,3 +579,213 @@ class TestCLI:
         assert main(["trace", "0", "999999",
                      "--index", str(path)]) == 2
         assert "out of range" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Queue-wait accounting (batcher-side slow-query visibility)
+# ----------------------------------------------------------------------
+
+@pytest.mark.timeout(120)
+class TestQueueWait:
+    def test_histogram_and_slowlog_stage(self, caplog, fresh_registry):
+        graph = _small_graph(seed=29, n=140)
+        index = build_index(graph, "ppl")
+        with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+            with QueryService(index, num_workers=1,
+                              options=QueryOptions(
+                                  mode="distance", slow_query_ms=0.0),
+                              max_delay=0.001) as service:
+                pairs = sample_vertex_pairs(graph, 8, seed=31)
+                service.query_many(pairs, timeout=60)
+                service._batcher.drain()
+                snapshot = fresh_registry.snapshot()["histograms"]
+        waits = snapshot["serving_queue_wait_seconds"]
+        # Every admitted key waited in the dispatch queue once.
+        assert waits["count"] >= len(set(map(tuple, map(sorted, pairs))))
+        assert waits["sum"] >= 0.0
+        # With slow_query_ms=0 every answer logs, and the batcher's
+        # envelope carries the stages no worker trace can see.
+        batcher_rows = [r.getMessage() for r in caplog.records
+                        if "queue.wait" in r.getMessage()]
+        assert batcher_rows
+        assert "batch.worker" in batcher_rows[0]
+        assert "mode=distance" in batcher_rows[0]
+
+    def test_no_slowlog_when_disabled(self, caplog, fresh_registry):
+        graph = _small_graph(seed=29, n=140)
+        index = build_index(graph, "ppl")
+        with caplog.at_level(logging.WARNING, logger="repro.slowlog"):
+            with QueryService(index, num_workers=1,
+                              options=QueryOptions(mode="distance"),
+                              max_delay=0.001) as service:
+                service.query(0, 5)
+        assert not [r for r in caplog.records
+                    if "queue.wait" in r.getMessage()]
+
+
+# ----------------------------------------------------------------------
+# /profile endpoint and worker-fleet profiling
+# ----------------------------------------------------------------------
+
+@pytest.mark.timeout(300)
+class TestProfileEndpoint:
+    @pytest.fixture(scope="class")
+    def endpoint(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        graph = _small_graph(seed=43, n=200)
+        index = build_index(graph, "ppl")
+        try:
+            with QueryService(index, num_workers=2,
+                              options=QueryOptions(mode="distance"),
+                              max_delay=0.001) as service:
+                server = make_server(service)
+                server.serve_in_background()
+                host, port = server.server_address[:2]
+                try:
+                    yield f"http://{host}:{port}", service, graph
+                finally:
+                    server.shutdown()
+                    server.server_close()
+        finally:
+            set_registry(previous)
+
+    def test_local_profile_text_and_json(self, endpoint):
+        base, service, graph = endpoint
+        stop = threading.Event()
+
+        def pump():
+            pairs = sample_vertex_pairs(graph, 16, seed=47)
+            while not stop.is_set():
+                service.query_many(pairs, timeout=60)
+
+        pumper = threading.Thread(target=pump,
+                                                daemon=True)
+        pumper.start()
+        try:
+            with urllib.request.urlopen(
+                    base + "/profile?seconds=0.5&workers=0",
+                    timeout=60) as reply:
+                assert reply.status == 200
+                assert reply.headers["Content-Type"].startswith(
+                    "text/plain")
+                text = reply.read().decode("utf-8")
+            for line in text.splitlines():
+                stack, _, count = line.rpartition(" ")
+                assert stack and int(count) > 0
+            with urllib.request.urlopen(
+                    base + "/profile?seconds=0.5&workers=1&hz=97"
+                           "&format=json", timeout=60) as reply:
+                payload = json.loads(reply.read())
+        finally:
+            stop.set()
+            pumper.join(timeout=30)
+        assert payload["seconds"] == 0.5
+        assert payload["hz"] == 97.0
+        assert payload["workers"] is True
+        assert payload["samples"] == \
+            sum(payload["folded"].values()) >= 1
+        assert payload["top"]
+        # Worker samples attribute to real frames, and the fleet
+        # accumulator was drained by the take.
+        assert service.worker_profile() == {}
+
+    def test_profile_param_validation(self, endpoint):
+        base, _service, _graph = endpoint
+        for query in ("seconds=0", "seconds=1000", "seconds=x",
+                      "hz=0", "hz=2000", "hz=x"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{base}/profile?{query}", timeout=30)
+            assert excinfo.value.code == 400
+
+    def test_service_profile_hz_knob(self, endpoint):
+        _base, service, _graph = endpoint
+        assert service.profile_hz == 0.0
+        service.set_profile_hz(50.0)
+        assert service.profile_hz == 50.0
+        service.set_profile_hz(0.0)
+        with pytest.raises(Exception):
+            service.set_profile_hz(-1.0)
+
+
+# ----------------------------------------------------------------------
+# Concurrent scrapes under churn (hot-swap + worker death)
+# ----------------------------------------------------------------------
+
+@pytest.mark.timeout(300)
+class TestConcurrentScrape:
+    def test_metrics_stay_consistent_under_churn(self, fresh_registry):
+        """Threads hammer ``GET /metrics`` while the service hot-swaps
+        snapshots and a worker is killed and respawned: every scrape
+        must parse, and monotonic ``_total`` counters never decrease
+        scrape-over-scrape."""
+        graph = _small_graph(seed=53, n=160)
+        index = build_index(graph, "dynamic")
+        with QueryService(index, num_workers=2,
+                          options=QueryOptions(mode="distance"),
+                          max_delay=0.001) as service:
+            server = make_server(service)
+            server.serve_in_background()
+            host, port = server.server_address[:2]
+            base = f"http://{host}:{port}"
+            stop = threading.Event()
+            errors = []
+            regressions = []
+
+            def scraper():
+                last: dict = {}
+                while not stop.is_set():
+                    try:
+                        with urllib.request.urlopen(
+                                base + "/metrics", timeout=30) as r:
+                            samples = parse_prometheus(
+                                r.read().decode("utf-8"))
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(repr(exc))
+                        return
+                    for key, value in samples.items():
+                        name = key.split("{", 1)[0]
+                        if not name.endswith("_total"):
+                            continue
+                        if key in last and value < last[key]:
+                            regressions.append(
+                                (key, last[key], value))
+                        last[key] = value
+
+            threads = [threading.Thread(
+                target=scraper, daemon=True) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                pairs = sample_vertex_pairs(graph, 12, seed=59)
+                edges = iter(graph.edges())
+                for round_no in range(4):
+                    service.query_many(pairs, timeout=60)
+                    service.apply_updates(
+                        [("insert", round_no,
+                          graph.num_vertices - 1 - round_no),
+                         ("delete", *next(edges))])
+                # Kill a worker mid-hammer; the collector respawns
+                # it and scrapes keep succeeding throughout.
+                victim = service._pool._processes[0]
+                victim.kill()
+                victim.join(timeout=10)
+                service.query_many(pairs, timeout=60)
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    if service.stats()["alive_workers"] == 2:
+                        break
+                    time.sleep(0.05)
+                service.query_many(pairs, timeout=60)
+                service._batcher.drain()
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+                server.shutdown()
+                server.server_close()
+            assert not errors, f"scrapes failed under churn: {errors}"
+            assert not regressions, (
+                f"monotonic counters decreased: {regressions[:5]}")
+            assert service.stats()["worker_deaths"] >= 1

@@ -1,0 +1,288 @@
+"""Sampling profiler and resource telemetry unit tests."""
+
+from __future__ import annotations
+
+import gc
+import threading
+import time
+
+import pytest
+
+from repro import build_index
+from repro.graph import barabasi_albert
+from repro.obs import MetricsRegistry, set_registry
+from repro.obs.profiler import (
+    SamplingProfiler,
+    active_profiler,
+    attach_profile,
+    collect_profile,
+    merge_folded,
+    render_folded,
+    top_frames,
+)
+from repro.obs.resources import (
+    install_gc_telemetry,
+    open_fd_count,
+    read_proc_status,
+    resource_snapshot,
+    uninstall_gc_telemetry,
+)
+from repro.obs.trace import Span
+
+
+@pytest.fixture()
+def fresh_registry():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def _busy_until(stop: threading.Event) -> None:
+    """A recognizable workload frame for the sampler to catch."""
+    while not stop.wait(0.001):
+        sum(i * i for i in range(500))
+
+
+@pytest.fixture()
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=_busy_until, args=(stop,),
+                              daemon=True)
+    thread.start()
+    try:
+        yield thread
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+
+
+class TestSamplingProfiler:
+    def test_samples_name_this_file(self, busy_thread):
+        with SamplingProfiler(hz=250) as profiler:
+            time.sleep(0.25)
+        assert profiler.sample_count > 0
+        assert profiler.fraction_in("test_profiler.py:_busy_until") > 0
+        # Folded lines are root-to-leaf, semicolon-joined, and every
+        # count is positive.
+        for stack, count in profiler.folded().items():
+            assert count > 0
+            assert all(":" in frame for frame in stack.split(";"))
+
+    def test_rate_is_roughly_honest(self, busy_thread):
+        with SamplingProfiler(hz=200) as profiler:
+            time.sleep(0.5)
+        # >= half the scheduled ticks landed (loaded CI boxes stall,
+        # but an unbounded drift would halve attribution windows).
+        assert profiler.sample_count >= 0.5 * 200 * 0.5
+
+    def test_flush_folded_ships_each_sample_once(self, busy_thread):
+        merged: dict = {}
+        with SamplingProfiler(hz=250) as profiler:
+            time.sleep(0.15)
+            merge_folded(merged, profiler.flush_folded())
+            time.sleep(0.15)
+        merge_folded(merged, profiler.flush_folded())
+        assert profiler.flush_folded() is None
+        assert merged == profiler.folded()
+        assert sum(merged.values()) == profiler.sample_count
+
+    def test_thread_filter(self, busy_thread):
+        wanted = (busy_thread.ident,)
+        with SamplingProfiler(hz=250, threads=wanted) as profiler:
+            time.sleep(0.25)
+        assert profiler.sample_count > 0
+        assert profiler.fraction_in("_busy_until") == 1.0
+
+    def test_own_thread_never_sampled(self, busy_thread):
+        with SamplingProfiler(hz=250) as profiler:
+            time.sleep(0.25)
+        assert profiler.fraction_in("_sample_loop") == 0.0
+
+    def test_start_stop_idempotent_and_elapsed(self):
+        profiler = SamplingProfiler(hz=50)
+        assert not profiler.running
+        profiler.start()
+        assert profiler.start() is profiler
+        assert profiler.running
+        time.sleep(0.05)
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+        assert profiler.elapsed >= 0.05
+
+    def test_rejects_bad_rate(self):
+        for hz in (0.0, -1.0, 1001.0):
+            with pytest.raises(ValueError):
+                SamplingProfiler(hz=hz)
+
+    def test_samples_feed_registry_counter(self, fresh_registry,
+                                           busy_thread):
+        with SamplingProfiler(hz=250):
+            time.sleep(0.2)
+        counters = fresh_registry.snapshot()["counters"]
+        assert counters.get("profiler_samples_total", 0) > 0
+
+    def test_empty_profiler_reads(self):
+        profiler = SamplingProfiler(hz=50)
+        assert profiler.folded() == {}
+        assert profiler.render_folded() == ""
+        assert profiler.top() == []
+        assert profiler.fraction_in("anything") == 0.0
+        assert profiler.flush_folded() is None
+
+
+class TestFoldedHelpers:
+    def test_render_hottest_first(self):
+        counts = {"a;b": 2, "a;c": 5, "x": 1}
+        assert render_folded(counts) == "a;c 5\na;b 2\nx 1\n"
+        assert render_folded({}) == ""
+
+    def test_top_frames_rolls_up_leaves(self):
+        counts = {"a;leaf": 3, "b;leaf": 2, "c;other": 4}
+        assert top_frames(counts, 2) == [("leaf", 5), ("other", 4)]
+
+    def test_merge_folded_accumulates(self):
+        into = {"a": 1}
+        merge_folded(into, {"a": 2, "b": 3})
+        merge_folded(into, None)
+        assert into == {"a": 3, "b": 3}
+
+    def test_collect_profile_bounds(self, busy_thread):
+        profiler = collect_profile(0.2, hz=250)
+        assert not profiler.running
+        assert profiler.sample_count > 0
+        with pytest.raises(ValueError):
+            collect_profile(0.0)
+        with pytest.raises(ValueError):
+            collect_profile(601.0)
+
+
+class TestSpanAttachment:
+    def test_attach_profile_needs_running_profiler(self):
+        span = Span("stage", "t1")
+        assert active_profiler() is None
+        assert attach_profile(span) is False
+        assert "profile" not in span.attrs
+
+    def test_attach_profile_writes_hottest_frames(self, busy_thread):
+        span = Span("stage", "t2")
+        with SamplingProfiler(hz=250) as profiler:
+            time.sleep(0.25)
+            assert active_profiler() is profiler
+            assert attach_profile(span, top=2) is True
+        assert active_profiler() is None
+        attribution = span.attrs["profile"]
+        assert "|" in attribution or ":" in attribution
+        frame, _, count = attribution.split("|")[0].rpartition(":")
+        assert frame and int(count) > 0
+
+
+class TestResources:
+    def test_proc_status_fields(self):
+        status = read_proc_status()
+        assert status["rss_bytes"] > 0
+        assert status["peak_rss_bytes"] >= status["rss_bytes"] > 0
+        assert status["threads"] >= 1
+
+    def test_open_fd_count(self):
+        fds = open_fd_count()
+        assert fds > 0
+        with open("/dev/null") as handle:
+            assert handle is not None
+            assert open_fd_count() == fds + 1
+
+    def test_resource_snapshot_is_picklable_plain_data(self):
+        import pickle
+
+        snapshot = resource_snapshot()
+        assert snapshot["pid"] > 0
+        assert snapshot["rss_bytes"] > 0
+        assert snapshot["open_fds"] > 0
+        assert snapshot["gc_collections"] >= 0
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_gc_telemetry_observes_collections(self, fresh_registry):
+        # The process hook is installed at repro.obs import; force a
+        # collection and read the series off the fresh registry (the
+        # callback resolves the registry per event).
+        assert install_gc_telemetry() is False  # already installed
+        gc.collect()
+        snapshot = fresh_registry.snapshot()
+        totals = [value for key, value
+                  in snapshot["counters"].items()
+                  if key.startswith("gc_collections_total")]
+        assert totals and sum(totals) >= 1
+        pauses = snapshot["histograms"]["gc_pause_seconds"]
+        assert pauses["count"] >= 1
+
+    def test_gc_callback_drops_sample_inside_critical_section(
+            self, fresh_registry):
+        # A collection can fire while *this* thread already holds a
+        # registry lock (metric code allocates under its locks); the
+        # callback must drop the sample, not re-enter — pre-guard this
+        # exact call sequence deadlocked the thread on a futex.
+        from repro.obs.registry import in_critical_section
+        from repro.obs.resources import _gc_callback
+
+        assert not in_critical_section()
+        with fresh_registry._lock:
+            assert in_critical_section()
+            _gc_callback("start", {})
+            _gc_callback("stop", {"generation": 0, "collected": 5})
+        assert not in_critical_section()
+        counters = fresh_registry.snapshot()["counters"]
+        assert not any(key.startswith("gc_") for key in counters)
+
+    def test_gc_telemetry_uninstall_reinstall(self, fresh_registry):
+        uninstall_gc_telemetry()
+        try:
+            before = fresh_registry.snapshot()["counters"]
+            gc.collect()
+            after = fresh_registry.snapshot()["counters"]
+            assert sum(v for k, v in before.items()
+                       if k.startswith("gc_collections_total")) == \
+                sum(v for k, v in after.items()
+                    if k.startswith("gc_collections_total"))
+        finally:
+            assert install_gc_telemetry() is True
+
+
+class TestProfileCLI:
+    @pytest.fixture(scope="class")
+    def saved_index(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("prof") / "ba.idx"
+        graph = barabasi_albert(300, 2, seed=9)
+        from repro.engine import save_index
+
+        save_index(build_index(graph, "ppl"), path)
+        return path
+
+    def test_profile_run_and_top(self, saved_index, tmp_path, capsys):
+        from repro.cli import main
+
+        folded = tmp_path / "profile.folded"
+        code = main(["profile", "run", "--index", str(saved_index),
+                     "--seconds", "0.5", "--hz", "250",
+                     "--out", str(folded), "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "samples" in out
+        text = folded.read_text()
+        assert text.strip()
+        for line in text.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+        assert main(["profile", "top", str(folded), "-n", "5"]) == 0
+        top_out = capsys.readouterr().out
+        assert top_out.strip()
+
+    def test_profile_top_rejects_garbage(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.folded"
+        bad.write_text("not a folded line\n")
+        assert main(["profile", "top", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -464,12 +464,39 @@ class TestHTTP:
         base, _graph = endpoint
         with urllib.request.urlopen(base + "/healthz",
                                     timeout=30) as reply:
+            assert reply.status == 200
             health = json.loads(reply.read())
         assert health["ok"] and health["workers"] == 2
+        # The probe is a real readiness report, not a constant body.
+        assert health["alive_workers"] == 2
+        assert health["dead_workers"] == 0
+        assert health["epoch"] == 0
+        assert health["method"] == "dynamic"
+        assert health["pending"] >= 0
+        assert health["inflight_batches"] >= 0
         with urllib.request.urlopen(base + "/stats",
                                     timeout=30) as reply:
             stats = json.loads(reply.read())
         assert stats["alive_workers"] == 2
+
+    def test_healthz_is_503_after_close(self):
+        graph = _small_graph(seed=73, n=130)
+        service = QueryService(build_index(graph, "ppl"),
+                               num_workers=1, max_delay=0.001)
+        server = make_server(service)
+        server.serve_in_background()
+        host, port = server.server_address[:2]
+        try:
+            service.close()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/healthz", timeout=30)
+            assert excinfo.value.code == 503
+            assert not json.loads(excinfo.value.read())["ok"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
 
     def test_query_single_and_batch(self, endpoint):
         base, graph = endpoint
