@@ -17,6 +17,15 @@ Two acceptance numbers for the :mod:`repro.obs` subsystem, written to
    stages sum to within **10%** of the end-to-end latency (the
    ``repro trace`` acceptance number), carrying the per-stage
    breakdown (scalar dispatch, boundary gather, relay min-plus).
+3. **Trace overhead** — the serving path (multi-worker
+   ``QueryService`` bursts) traced at rate 1.0 — context shipped to
+   workers, spans shipped home, stitching — must run within **5%**
+   of the same path untraced.
+4. **Stitched coverage** — cross-shard bursts through a four-worker
+   fleet at rate 1.0 must stitch into single-rooted trees whose
+   worker stage spans cover **≥95%** of worker batch wall time; the
+   traces export to ``TRACE_cross_shard.json`` (valid Chrome
+   trace-event JSON, CI uploads it for Perfetto).
 """
 
 import json
@@ -52,7 +61,20 @@ SBM_P_OUT = 0.001
 COVERAGE_PAIRS = 9
 COVERAGE_LIMIT = 0.10
 
+#: Serving-path trace overhead: alternating traced/untraced bursts.
+TRACE_BURST_PAIRS = 512
+TRACE_REPS_PER_SIDE = 10
+TRACE_OVERHEAD_LIMIT = 0.05
+
+#: Fleet stitched-trace coverage: worker spans vs worker wall time.
+FLEET_WORKERS = 4
+FLEET_BURSTS = 6
+FLEET_BURST_PAIRS = 64
+STITCH_COVERAGE_FLOOR = 0.95
+
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+TRACE_PATH = Path(__file__).resolve().parents[1] / \
+    "TRACE_cross_shard.json"
 
 _RESULTS = {}
 
@@ -165,11 +187,131 @@ def test_cross_shard_stage_breakdown(tmp_path):
         f"{COVERAGE_LIMIT * 100:.0f}%)")
 
 
+@pytest.mark.timeout(900)
+def test_trace_overhead_within_five_percent(ppl_index):
+    """Fleet tracing at rate 1.0 — TraceContext on every dispatched
+    batch, worker span records shipped home, batcher-side stitching —
+    must cost at most 5% against the untraced serving path."""
+    from repro.serving import QueryService
+
+    pairs = sample_pairs(ppl_index.graph, TRACE_BURST_PAIRS, seed=13)
+    traced, untraced = [], []
+    with QueryService(ppl_index, num_workers=2,
+                      options=QueryOptions(mode="distance",
+                                           cache_size=0),
+                      max_delay=0.001) as service:
+        def _rep(rate):
+            service.set_trace_rate(rate)
+            start = time.perf_counter()
+            service.query_many(pairs, timeout=120.0)
+            return time.perf_counter() - start
+
+        _rep(1.0)  # warm both paths (workers, shm pages, buffers)
+        _rep(0.0)
+        for _ in range(TRACE_REPS_PER_SIDE):
+            traced.append(_rep(1.0))
+            untraced.append(_rep(0.0))
+        stitched = service.trace_buffer_stats()["added_total"]
+    traced_best = min(traced)
+    untraced_best = min(untraced)
+    overhead = traced_best / untraced_best - 1.0
+    # The traced side really did stitch: at least one trace per
+    # traced burst (bursts chunk into one or more batches each).
+    assert stitched >= TRACE_REPS_PER_SIDE + 1
+    _RESULTS["trace_overhead"] = {
+        "burst_pairs": TRACE_BURST_PAIRS,
+        "reps_per_side": TRACE_REPS_PER_SIDE,
+        "traced_best_ms": traced_best * 1e3,
+        "untraced_best_ms": untraced_best * 1e3,
+        "traced_p50_ms": statistics.median(traced) * 1e3,
+        "untraced_p50_ms": statistics.median(untraced) * 1e3,
+        "trace_overhead_fraction": overhead,
+        "limit_fraction": TRACE_OVERHEAD_LIMIT,
+    }
+    assert overhead <= TRACE_OVERHEAD_LIMIT, (
+        f"tracing the serving path costs {overhead * 100:.2f}% "
+        f"(limit {TRACE_OVERHEAD_LIMIT * 100:.0f}%)")
+
+
+@pytest.mark.timeout(900)
+def test_cross_shard_stitched_trace_coverage():
+    """Cross-shard bursts through a four-worker fleet stitch into
+    single-rooted trees whose worker stage spans cover >=95% of the
+    worker batch wall time; the export is schema-valid Chrome JSON."""
+    from repro.obs import chrome_trace, validate_chrome_trace
+    from repro.serving import QueryService
+
+    graph = stochastic_block(SBM_SIZES, SBM_P_IN, SBM_P_OUT, seed=5)
+    index = build_index(graph, "sharded",
+                        num_shards=len(SBM_SIZES), inner="ppl")
+    shard = index.partition.assignment
+    rng = np.random.default_rng(17)
+    pairs = []
+    while len(pairs) < FLEET_BURSTS * FLEET_BURST_PAIRS:
+        u, v = (int(x) for x in rng.integers(0, graph.num_vertices, 2))
+        if shard[u] != shard[v]:
+            pairs.append((u, v))
+    with QueryService(index, num_workers=FLEET_WORKERS,
+                      options=QueryOptions(mode="distance",
+                                           cache_size=0),
+                      max_delay=0.001) as service:
+        # Warm every worker before measuring coverage.
+        service.query_many(pairs[:FLEET_BURST_PAIRS], timeout=120.0)
+        service.set_trace_rate(1.0)
+        for i in range(FLEET_BURSTS):
+            burst = pairs[i * FLEET_BURST_PAIRS:
+                          (i + 1) * FLEET_BURST_PAIRS]
+            service.query_many(burst, timeout=120.0)
+        traces = service.traces(limit=1000)
+    assert traces, "rate 1.0 stitched nothing"
+    coverages = []
+    worker_procs = set()
+    for trace in traces:
+        by_id = {r["span"]: r for r in trace.spans}
+        roots = [r for r in trace.spans if r["parent"] is None]
+        assert len(roots) == 1, trace.spans
+        assert all(r["parent"] in by_id for r in trace.spans
+                   if r["parent"] is not None), trace.spans
+        for record in trace.spans:
+            if record["name"] != "serving.batch":
+                continue
+            worker_procs.add(record["proc"])
+            covered = sum(r["dur"] for r in trace.spans
+                          if r["parent"] == record["span"])
+            if record["dur"] > 0:
+                coverages.append(covered / record["dur"])
+    assert len(worker_procs) >= 2, (
+        f"bursts never spread across the fleet: {worker_procs}")
+    coverage_p50 = statistics.median(coverages)
+    payload = chrome_trace(traces)
+    problems = validate_chrome_trace(payload)
+    assert problems == [], problems
+    TRACE_PATH.write_text(json.dumps(payload, indent=2,
+                                     sort_keys=True) + "\n")
+    _RESULTS["fleet_trace"] = {
+        "workers": FLEET_WORKERS,
+        "bursts": FLEET_BURSTS,
+        "burst_pairs": FLEET_BURST_PAIRS,
+        "stitched_traces": len(traces),
+        "worker_processes": sorted(worker_procs),
+        "stitch_coverage_p50": coverage_p50,
+        "stitch_coverage_min": min(coverages),
+        "floor_fraction": STITCH_COVERAGE_FLOOR,
+        "trace_events": len(payload["traceEvents"]),
+    }
+    assert coverage_p50 >= STITCH_COVERAGE_FLOOR, (
+        f"worker stage spans cover only {coverage_p50 * 100:.1f}% "
+        f"of worker batch wall time "
+        f"(floor {STITCH_COVERAGE_FLOOR * 100:.0f}%)")
+
+
 @pytest.mark.timeout(120)
 def test_write_bench_json():
     """Writer test: runs last, persists everything gathered above."""
     assert "overhead" in _RESULTS, "the overhead benchmark did not run"
     assert "stage_coverage" in _RESULTS
+    assert "trace_overhead" in _RESULTS
+    assert "fleet_trace" in _RESULTS
     payload = {
         "graph": {"kind": "barabasi-albert", "num_vertices": GRAPH_N,
                   "m": GRAPH_M, "seed": GRAPH_SEED},
@@ -183,5 +325,10 @@ def test_write_bench_json():
         "disabled_p50_ms": _RESULTS["overhead"]["disabled_p50_ms"],
         "overhead_fraction": _RESULTS["overhead"]["overhead_fraction"],
         "coverage_p50": _RESULTS["stage_coverage"]["coverage_p50"],
+        "trace_overhead_fraction":
+            _RESULTS["trace_overhead"]["trace_overhead_fraction"],
+        "stitch_coverage_p50":
+            _RESULTS["fleet_trace"]["stitch_coverage_p50"],
     }, seed=GRAPH_SEED,
-        workload=f"ba-{GRAPH_N} kernel batches + sharded coverage")
+        workload=f"ba-{GRAPH_N} kernel batches + sharded coverage "
+                 f"+ {FLEET_WORKERS}-worker stitched fleet")

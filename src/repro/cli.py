@@ -117,6 +117,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Set
 
 from . import harness
@@ -300,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="log queries slower than MS through "
                                 "the repro.slowlog logger (trace id + "
                                 "per-stage breakdown when sampled)")
+    serve_cmd.add_argument("--audit-rate", type=float, default=0.0,
+                           metavar="R",
+                           help="fraction of served distance answers "
+                                "to re-check against the per-epoch "
+                                "BFS oracle in a background thread "
+                                "(feeds audit_* counters and the "
+                                "correctness SLO; 0 disables)")
 
     stats_cmd = commands.add_parser(
         "stats", help="run a query batch and print the metrics "
@@ -320,14 +328,79 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_cmd = commands.add_parser(
         "trace", help="answer one query under a trace and print the "
-                      "span tree")
-    trace_cmd.add_argument("u", type=int, help="source vertex")
-    trace_cmd.add_argument("v", type=int, help="target vertex")
-    trace_cmd.add_argument("--index", required=True,
-                           help="path written by the build command")
+                      "span tree; or export/validate fleet traces")
+    trace_cmd.add_argument("u",
+                           help="source vertex, or the action "
+                                "'export' (fetch Chrome trace JSON "
+                                "from a running server, open it in "
+                                "Perfetto) or 'validate FILE' (check "
+                                "a trace file against the Chrome "
+                                "trace-event schema)")
+    trace_cmd.add_argument("v", nargs="?", default=None,
+                           help="target vertex (or the file for "
+                                "'validate')")
+    trace_cmd.add_argument("--index", default=None,
+                           help="path written by the build command "
+                                "(required for the vertex form)")
     trace_cmd.add_argument("--mode", default="distance",
                            choices=QUERY_MODES,
                            help="what to compute (default: distance)")
+    trace_cmd.add_argument("--url", default="http://127.0.0.1:8080",
+                           help="server base URL for 'export' "
+                                "(default: http://127.0.0.1:8080)")
+    trace_cmd.add_argument("--out", default=None, metavar="FILE",
+                           help="write exported trace JSON here "
+                                "instead of stdout")
+    trace_cmd.add_argument("--limit", type=int, default=50,
+                           metavar="N",
+                           help="max stitched traces to export "
+                                "(default: 50)")
+
+    slo_cmd = commands.add_parser(
+        "slo", help="evaluate service-level objectives")
+    slo_actions = slo_cmd.add_subparsers(dest="slo_action",
+                                         required=True,
+                                         metavar="action")
+    slo_status = slo_actions.add_parser(
+        "status", help="print the SLO report; exit 1 when any "
+                       "objective is breached")
+    slo_status.add_argument("--url", default=None,
+                            help="fetch the report from a running "
+                                 "server's GET /slo instead of "
+                                 "self-hosting a service")
+    slo_status.add_argument("--index", default=None,
+                            help="saved index to self-host a fleet "
+                                 "against (alternative to --url)")
+    slo_status.add_argument("--random", type=int, default=200,
+                            metavar="N",
+                            help="query pairs to drive through the "
+                                 "self-hosted fleet (default: 200)")
+    slo_status.add_argument("--mode", default="distance",
+                            choices=QUERY_MODES,
+                            help="query mode (default: distance)")
+    slo_status.add_argument("--seed", type=int, default=0,
+                            help="seed for pair sampling")
+    slo_status.add_argument("--workers", type=int, default=2,
+                            help="fleet size for --index mode "
+                                 "(default: 2)")
+    slo_status.add_argument("--audit-rate", type=float, default=1.0,
+                            metavar="R",
+                            help="oracle audit rate in --index mode "
+                                 "(default: 1.0)")
+    slo_status.add_argument("--inject-latency-ms", type=float,
+                            default=None, metavar="MS",
+                            help="self-test hook: record N synthetic "
+                                 "observations at MS into the first "
+                                 "latency objective before scoring")
+    slo_status.add_argument("--inject-count", type=int, default=100,
+                            metavar="N",
+                            help="observations for "
+                                 "--inject-latency-ms (default: 100)")
+    slo_status.add_argument("--inject-mismatch", type=int, default=0,
+                            metavar="N",
+                            help="self-test hook: corrupt N audited "
+                                 "answers so the correctness SLO "
+                                 "breaches")
 
     inspect_cmd = commands.add_parser(
         "inspect", help="print a saved index's header and array "
@@ -485,6 +558,8 @@ def _dispatch(args) -> int:
         return _run_stats(args)
     if args.experiment == "trace":
         return _run_trace(args)
+    if args.experiment == "slo":
+        return _run_slo(args)
     if args.experiment == "inspect":
         return _run_inspect(args)
     if args.experiment == "store":
@@ -705,7 +780,8 @@ def _run_serve(args) -> int:
                       store=args.store,
                       max_batch=args.batch,
                       max_delay=args.delay_ms / 1000.0,
-                      max_pending=args.queue_depth) as service:
+                      max_pending=args.queue_depth,
+                      audit_rate=args.audit_rate) as service:
         if args.trace_rate:
             service.set_trace_rate(args.trace_rate)
         stats = service.stats()
@@ -733,8 +809,8 @@ def _run_serve(args) -> int:
             server,
             f"listening on http://{host}:{port} "
             f"(POST /query, POST /update, GET /stats, GET /metrics, "
-            f"GET/POST /trace, GET /profile, GET /healthz; "
-            f"Ctrl-C to stop)")
+            f"GET/POST /trace, GET /traces, GET /slo, GET /profile, "
+            f"GET /healthz; Ctrl-C to stop)")
         print("draining batcher and stopping workers")
         # Falling out of the ``with`` closes the service: the batcher
         # drains its in-flight batches and the worker pool is joined
@@ -825,6 +901,22 @@ def _run_stats(args) -> int:
 def _run_trace(args) -> int:
     from .obs import format_span_tree
 
+    if args.u == "export":
+        return _run_trace_export(args)
+    if args.u == "validate":
+        return _run_trace_validate(args)
+    if args.index is None:
+        raise ReproError("--index is required to trace a query")
+    if args.v is None:
+        raise ReproError("trace needs both a source and a target "
+                         "vertex")
+    try:
+        u, v = int(args.u), int(args.v)
+    except ValueError:
+        raise ReproError(
+            f"vertices must be integers (or use the 'export' / "
+            f"'validate' actions), got {args.u!r} {args.v!r}")
+    args.u, args.v = u, v
     index = load_index(args.index)
     num_vertices = index.graph.num_vertices
     for vertex in (args.u, args.v):
@@ -846,6 +938,127 @@ def _run_trace(args) -> int:
     print(f"{args.mode}({args.u}, {args.v}) = "
           f"{_render_value(record.value)} on {index.method!r}")
     return 0
+
+
+def _fetch_json(url: str, timeout: float = 10.0):
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ReproError(f"fetching {url} failed: {exc}")
+
+
+def _run_trace_export(args) -> int:
+    from .obs import validate_chrome_trace
+
+    base = args.url.rstrip("/")
+    limit = max(1, min(int(args.limit), 1000))
+    payload = _fetch_json(f"{base}/traces?format=chrome"
+                          f"&limit={limit}")
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    events = len(payload.get("traceEvents", []))
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {events} trace events to {args.out}; open it "
+              f"at https://ui.perfetto.dev or chrome://tracing")
+    else:
+        print(text)
+    return 0
+
+
+def _run_trace_validate(args) -> int:
+    from .obs import validate_chrome_trace
+
+    if args.v is None:
+        raise ReproError("trace validate needs a file path")
+    path = Path(args.v)
+    if not path.exists():
+        raise ReproError(f"no such trace file: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        print(f"invalid: not JSON ({exc})", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    events = payload.get("traceEvents", [])
+    spans = sum(1 for event in events if event.get("ph") == "X")
+    print(f"ok: {len(events)} events ({spans} spans) conform to the "
+          f"Chrome trace-event schema")
+    return 0
+
+
+def _run_slo(args) -> int:
+    if args.slo_action != "status":  # pragma: no cover - argparse
+        raise ReproError(f"unknown slo action {args.slo_action!r}")
+    if (args.url is None) == (args.index is None):
+        raise ReproError("slo status needs exactly one of --url or "
+                         "--index")
+    if args.url is not None:
+        report = _fetch_json(f"{args.url.rstrip('/')}/slo")
+    else:
+        report = _slo_self_hosted_report(args)
+    _print_slo_report(report)
+    return 1 if report.get("breached") else 0
+
+
+def _slo_self_hosted_report(args) -> dict:
+    """Drive a short-lived fleet against ``--index`` and score it."""
+    from .serving import QueryService
+    from .workloads import sample_pairs
+
+    if args.random <= 0:
+        raise ReproError("--random needs a positive pair count")
+    index = load_index(args.index)
+    pairs = sample_pairs(index.graph, args.random, seed=args.seed)
+    options = QueryOptions(mode=args.mode, cache_size=0)
+    with QueryService(index, num_workers=args.workers,
+                      options=options,
+                      audit_rate=args.audit_rate) as service:
+        if args.inject_mismatch and service.auditor is not None:
+            service.auditor.inject_mismatch(args.inject_mismatch)
+        for u, v in pairs:
+            service.submit(u, v, mode=args.mode).result(timeout=60.0)
+        if service.auditor is not None:
+            service.auditor.flush()
+        if args.inject_latency_ms is not None:
+            service.slo_engine.inject_latency(
+                args.inject_latency_ms / 1000.0,
+                count=args.inject_count)
+        return service.slo_status()
+
+
+def _print_slo_report(report: dict) -> None:
+    rows = []
+    for name, entry in sorted(report.get("objectives", {}).items()):
+        burn = entry.get("burn_rates") or {}
+        worst = max(burn.values()) if burn else float(
+            entry.get("value", 0.0) or 0.0)
+        rows.append({
+            "objective": name,
+            "kind": entry.get("kind", "?"),
+            "status": "BREACHED" if entry.get("breached") else "ok",
+            "burn_or_value": round(worst, 4),
+            "budget_left": round(
+                float(entry.get("budget_remaining", 1.0)), 4),
+        })
+    print(harness.format_rows(rows, columns=(
+        "objective", "kind", "status", "burn_or_value",
+        "budget_left")))
+    verdict = "BREACHED" if report.get("breached") else "ok"
+    print(f"slo status: {verdict} over windows "
+          f"{report.get('windows', [])}")
 
 
 def _run_inspect(args) -> int:

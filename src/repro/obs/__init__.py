@@ -14,8 +14,16 @@ On top of the registry sit the continuous-profiling pieces:
 collector and GC hook are installed on the default registry at
 import), and :mod:`repro.obs.bench` (the ``BENCH_TRAJECTORY.jsonl``
 perf ledger and the ``repro bench compare`` regression gate).
+
+The fleet-facing layer: :mod:`repro.obs.traces` (cross-process trace
+contexts, the stitched-trace buffer with tail retention, Chrome
+trace-event export for Perfetto), :mod:`repro.obs.slo` (declarative
+objectives scored with multi-window burn rates) and
+:mod:`repro.obs.audit` (continuous oracle auditing of served
+answers).
 """
 
+from .audit import OracleAuditor
 from .bench import (
     BenchRecorder,
     compare_trajectory,
@@ -38,10 +46,14 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    build_info,
     get_registry,
+    install_build_info,
     register_page_cache,
     set_registry,
 )
+from .slo import DEFAULT_SLO_CONFIG, Objective, SloEngine, \
+    parse_slo_config
 from .resources import (
     install_gc_telemetry,
     register_resource_collector,
@@ -59,6 +71,15 @@ from .trace import (
     stage_breakdown,
     stage_totals,
     start_trace,
+)
+from .traces import (
+    StitchedTrace,
+    TraceBuffer,
+    TraceContext,
+    chrome_trace,
+    span_records,
+    trace_from_context,
+    validate_chrome_trace,
 )
 
 __all__ = [
@@ -97,6 +118,20 @@ __all__ = [
     "format_span_tree",
     "stage_totals",
     "stage_breakdown",
+    "build_info",
+    "install_build_info",
+    "TraceContext",
+    "StitchedTrace",
+    "TraceBuffer",
+    "trace_from_context",
+    "span_records",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "Objective",
+    "SloEngine",
+    "parse_slo_config",
+    "DEFAULT_SLO_CONFIG",
+    "OracleAuditor",
 ]
 
 # Resource telemetry is on by default: the scrape-time collector costs

@@ -37,8 +37,12 @@ against (``repro.obs.set_registry``).
 
 from __future__ import annotations
 
+import functools
+import platform
 import threading
+import time
 import weakref
+from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -46,7 +50,7 @@ import numpy as np
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "get_registry", "set_registry", "DEFAULT_LATENCY_BUCKETS",
-    "format_sample",
+    "format_sample", "build_info", "install_build_info",
 ]
 
 #: Default histogram buckets for latencies in seconds: 5us .. 10s.
@@ -278,6 +282,20 @@ class Histogram:
         if inside == 0:
             return hi
         return lo + (hi - lo) * (target - below) / inside
+
+    def bucket_counts(self) -> Tuple[Tuple[float, ...], List[int],
+                                     float]:
+        """Consistent ``(bucket_bounds, per_bucket_counts, sum)`` read.
+
+        ``per_bucket_counts`` has one extra trailing entry for the
+        implicit ``+Inf`` bucket. This is the read surface the SLO
+        engine samples — good/bad counting needs the raw per-bucket
+        vector, not the interpolated quantile.
+        """
+        with _CRITICAL, self._lock:
+            counts = self._counts.copy()
+            total = self._sum
+        return self.buckets, [int(c) for c in counts], total
 
     def _take_delta(self) -> Optional[Dict[str, Any]]:
         with self._lock:
@@ -620,3 +638,76 @@ def _page_cache_collector():
 
 
 _default_registry.register_collector(_page_cache_collector)
+
+
+# ----------------------------------------------------------------------
+# Build-info / uptime collector
+# ----------------------------------------------------------------------
+
+_process_start_mono = time.monotonic()
+
+
+def _read_git_sha() -> str:
+    """Best-effort short git sha by walking up to a ``.git`` dir.
+
+    Reads ``HEAD`` and resolves one level of ``ref:`` indirection via
+    the loose ref file or ``packed-refs`` — no subprocess, so scrapes
+    stay cheap and the sandbox-friendly path works in CI checkouts.
+    Returns ``"-"`` outside a git checkout.
+    """
+    try:
+        here = Path(__file__).resolve()
+        for base in (*here.parents, Path.cwd()):
+            git_dir = base / ".git"
+            head = git_dir / "HEAD"
+            if not head.is_file():
+                continue
+            text = head.read_text().strip()
+            if not text.startswith("ref:"):
+                return text[:12]
+            ref = text.split(None, 1)[1]
+            loose = git_dir / ref
+            if loose.is_file():
+                return loose.read_text().strip()[:12]
+            packed = git_dir / "packed-refs"
+            if packed.is_file():
+                for line in packed.read_text().splitlines():
+                    if line.endswith(ref) and not line.startswith("#"):
+                        return line.split()[0][:12]
+            return "-"
+    except OSError:
+        pass
+    return "-"
+
+
+@functools.lru_cache(maxsize=1)
+def build_info() -> Dict[str, str]:
+    """Static build identity: package version, git sha, python."""
+    try:
+        from importlib.metadata import version
+        pkg_version = version("repro-qbs")
+    except Exception:
+        pkg_version = "unknown"
+    return {
+        "version": pkg_version,
+        "git_sha": _read_git_sha(),
+        "python": platform.python_version(),
+    }
+
+
+def _build_info_collector():
+    return [
+        ("gauge", "repro_build_info", build_info(), 1.0),
+        ("gauge", "service_uptime_seconds", {},
+         time.monotonic() - _process_start_mono),
+    ]
+
+
+def install_build_info(registry: MetricsRegistry) -> None:
+    """Register the ``repro_build_info`` info-style metric (constant
+    value 1, identity in the labels) and the ``service_uptime_seconds``
+    gauge on ``registry``."""
+    registry.register_collector(_build_info_collector)
+
+
+install_build_info(_default_registry)

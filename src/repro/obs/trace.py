@@ -52,6 +52,7 @@ __all__ = [
 STAGE_SECONDS = "stage_seconds"
 
 _trace_counter = itertools.count(1)
+_span_counter = itertools.count(1)
 _counter_lock = threading.Lock()
 
 
@@ -61,11 +62,28 @@ def _next_trace_id() -> str:
     return f"{os.getpid():x}-{serial:06x}"
 
 
+def _next_span_id() -> str:
+    with _counter_lock:
+        serial = next(_span_counter)
+    return f"{os.getpid():x}-s{serial:06x}"
+
+
 class Span:
-    """One timed stage; spans nest into a tree under a trace root."""
+    """One timed stage; spans nest into a tree under a trace root.
+
+    Every span carries a process-unique ``span_id`` and, once entered,
+    a wall-clock ``start_wall`` (``time.time()``) alongside the
+    monotonic ``perf_counter`` pair used for ``elapsed``. The wall
+    clock is what lets spans from *different processes* (batcher and
+    workers) land on one Chrome trace-event timeline — perf_counter
+    epochs are not comparable across processes. ``remote_parent`` is
+    the span id of a parent living in another process (set on roots
+    opened from a shipped :class:`~repro.obs.traces.TraceContext`).
+    """
 
     __slots__ = ("name", "trace_id", "attrs", "counts", "children",
-                 "_start", "elapsed", "parent")
+                 "_start", "elapsed", "parent", "span_id",
+                 "start_wall", "remote_parent")
 
     def __init__(self, name: str, trace_id: str,
                  parent: Optional["Span"] = None,
@@ -78,6 +96,9 @@ class Span:
         self.children: List[Span] = []
         self._start = 0.0
         self.elapsed = 0.0
+        self.span_id = _next_span_id()
+        self.start_wall = 0.0
+        self.remote_parent: Optional[str] = None
 
     def add(self, key: str, amount: float = 1.0) -> None:
         self.counts[key] = self.counts.get(key, 0.0) + amount
@@ -100,6 +121,9 @@ class _NoopSpan:
     children: List[Span] = []
     attrs: Dict[str, Any] = {}
     counts: Dict[str, float] = {}
+    span_id = "noop"
+    start_wall = 0.0
+    remote_parent = None
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -125,6 +149,7 @@ class _ActiveSpan:
 
     def __enter__(self) -> Span:
         self._token = _current.set(self._span)
+        self._span.start_wall = time.time()
         self._span._start = time.perf_counter()
         return self._span
 
@@ -149,6 +174,7 @@ class _RootSpan:
 
     def __enter__(self) -> Span:
         self._token = _current.set(self._span)
+        self._span.start_wall = time.time()
         self._span._start = time.perf_counter()
         return self._span
 

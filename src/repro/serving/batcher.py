@@ -56,6 +56,13 @@ from ..obs import get_registry
 from ..obs.profiler import merge_folded
 from ..obs.slowlog import log_slow_query
 from ..obs.trace import TraceSampler
+from ..obs.traces import (
+    StitchedTrace,
+    TraceBuffer,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+)
 from .pool import BatchMessage, BatchResponse, PairError, WorkerPool
 from .snapshot import SnapshotHandle
 
@@ -111,6 +118,19 @@ class _InFlight:
     keys: List[Tuple[int, int]]
     entries: Dict[Tuple[int, int], _Entry]
     retried: bool = False
+    #: Distributed-trace context of a sampled batch. Survives retries
+    #: and worker-death re-dispatch, so the retried attempt's worker
+    #: spans still land in the *same* stitched trace — a killed worker
+    #: must not orphan a trace.
+    trace: Optional[TraceContext] = None
+    #: Wall-clock bookkeeping for the batcher-side records (batch
+    #: opened for coalescing / handed to the pool).
+    opened_wall: float = 0.0
+    dispatched_wall: float = 0.0
+    #: Worker span records from *failed* attempts, kept so the final
+    #: stitched trace shows every attempt, not just the one that
+    #: resolved.
+    spans: List[dict] = field(default_factory=list)
 
 
 class Batcher:
@@ -203,9 +223,20 @@ class Batcher:
         self._worker_profile: Dict[str, int] = {}
         self._worker_resources: Dict[int, dict] = {}
         #: Per-batch trace sampling (the HTTP front-end's knob): a
-        #: sampled batch is answered under a trace in its worker, and
-        #: the stage histograms ride back in the metrics deltas.
+        #: sampled batch is dispatched with a :class:`TraceContext`,
+        #: answered under it in its worker, and stitched with the
+        #: batcher-side records into the trace buffer on resolution.
         self.trace_sampler = TraceSampler(0.0)
+        #: Stitched distributed traces (``GET /traces`` reads this);
+        #: tail retention keys off the slow-query threshold when one
+        #: is configured.
+        self.trace_buffer = TraceBuffer(
+            slow_ms=slow_query_ms if slow_query_ms is not None
+            else 100.0)
+        #: Optional ``fn(u, v, mode, value, epoch)`` called for every
+        #: resolved answer — the oracle auditor's sampling intake. Must
+        #: be cheap; it runs on the collector thread under the lock.
+        self._answer_hook: Optional[Callable] = None
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, daemon=True,
             name="repro-serving-dispatcher")
@@ -476,8 +507,16 @@ class Batcher:
         batch_id = next(self._batch_ids)
         keys = list(live)
         handle = self._handle_provider()
-        self._inflight[batch_id] = _InFlight(mode=mode, keys=keys,
-                                             entries=live)
+        inflight = _InFlight(mode=mode, keys=keys, entries=live)
+        if self.trace_sampler.should_sample():
+            inflight.trace = TraceContext(new_trace_id(),
+                                          new_span_id())
+            # Wall-clock timeline shared with the worker spans; the
+            # batch opened (now - batch.opened) seconds ago.
+            wall_now = time.time()
+            inflight.opened_wall = wall_now - (now - batch.opened)
+            inflight.dispatched_wall = wall_now
+        self._inflight[batch_id] = inflight
         self._count("batches")
         for entry in live.values():
             entry.dispatched = now
@@ -485,7 +524,7 @@ class Batcher:
                 self._m_queue_wait.observe(now - entry.submitted)
         self._pool.submit(BatchMessage(
             batch_id, handle, mode, tuple(keys),
-            trace=self.trace_sampler.should_sample(),
+            trace=inflight.trace,
             profile_hz=self._profile_hz))
 
     # ------------------------------------------------------------------
@@ -521,11 +560,17 @@ class Batcher:
                 if inflight is None:  # resolved by close()
                     continue
                 if response.error is not None:
+                    if response.spans:
+                        # Failed attempt's worker spans: kept on the
+                        # in-flight record so the eventual stitched
+                        # trace shows this attempt too.
+                        inflight.spans.extend(response.spans)
                     self._handle_batch_error_locked(response.batch_id,
                                                     inflight,
                                                     response.error)
                 else:
                     self._resolve_locked(inflight, response)
+                    self._stitch_locked(inflight, response, None)
                     self._count("worker_cache_hits",
                                 response.cache_hits)
                     if response.store is not None:
@@ -564,8 +609,11 @@ class Batcher:
         for batch in inflight.values():
             new_id = next(self._batch_ids)
             self._inflight[new_id] = batch
+            # Keep the trace context: the re-dispatched attempt's
+            # worker spans must land in the original stitched trace.
             pool.submit(BatchMessage(new_id, handle, batch.mode,
                                      tuple(batch.keys),
+                                     trace=batch.trace,
                                      profile_hz=self._profile_hz))
 
     def _handle_batch_error_locked(self, batch_id: int,
@@ -586,11 +634,68 @@ class Batcher:
             self._pool.submit(BatchMessage(
                 new_id, handle, inflight.mode,
                 tuple(inflight.keys),
+                trace=inflight.trace,
                 profile_hz=self._profile_hz))
             return
         failure = ServingError(f"batch failed in worker: {error}")
+        self._stitch_locked(inflight, None, error)
         for entry in inflight.entries.values():
             self._fail_entry_locked(entry, failure)
+
+    def _stitch_locked(self, inflight: _InFlight, response,
+                       error: Optional[str]) -> None:
+        """Assemble one cross-process trace and buffer it.
+
+        The batcher contributes the ``serving.request`` envelope (the
+        root — its span id is the context's ``parent_span_id``, which
+        the worker roots name as their remote parent) and a
+        ``queue.wait`` child; the worker records from every attempt
+        hang under the envelope by construction.
+        """
+        context = inflight.trace
+        if context is None:
+            return
+        end_wall = time.time()
+        duration = max(0.0, end_wall - inflight.opened_wall)
+        mode = (inflight.mode if inflight.mode is not None
+                else self.default_mode)
+        attrs: Dict[str, object] = {"mode": mode,
+                                    "keys": len(inflight.keys)}
+        if error is not None:
+            attrs["error"] = error
+        records = [{
+            "trace": context.trace_id,
+            "span": context.parent_span_id,
+            "parent": None,
+            "name": "serving.request",
+            "ts": inflight.opened_wall,
+            "dur": duration,
+            "proc": "batcher",
+            "attrs": attrs,
+        }, {
+            "trace": context.trace_id,
+            "span": new_span_id(),
+            "parent": context.parent_span_id,
+            "name": "queue.wait",
+            "ts": inflight.opened_wall,
+            "dur": max(0.0, inflight.dispatched_wall
+                       - inflight.opened_wall),
+            "proc": "batcher",
+        }]
+        records.extend(inflight.spans)
+        if response is not None and response.spans:
+            records.extend(response.spans)
+        self.trace_buffer.add(StitchedTrace(
+            trace_id=context.trace_id, spans=records,
+            ts=inflight.opened_wall, duration=duration,
+            error=error is not None, mode=mode,
+            pairs=len(inflight.keys)))
+
+    def set_answer_hook(self, hook: Optional[Callable]) -> None:
+        """Install the resolved-answer tap (``fn(u, v, mode, value,
+        epoch)``) the oracle auditor samples from."""
+        with self._lock:
+            self._answer_hook = hook
 
     def _resolve_locked(self, inflight: _InFlight,
                         response) -> None:
@@ -609,6 +714,12 @@ class Batcher:
                     f"time budget"), expired=True)
                 continue
             answer = Answer(value, response.epoch)
+            if self._answer_hook is not None:
+                try:
+                    self._answer_hook(key[0], key[1], mode, value,
+                                      response.epoch)
+                except Exception:  # the audit tap must never fail a
+                    pass           # request
             if entry.submitted:
                 elapsed = now - entry.submitted
                 self._m_request_seconds.observe(elapsed)

@@ -38,6 +38,18 @@ Endpoints:
     worker fleet through the batch channel instead of the front-end
     process, ``&format=json`` wraps the counts in JSON with a
     hottest-frames roll-up.
+``GET /traces``
+    Stitched cross-process traces from the batcher's buffer.
+    ``?format=chrome`` (default) returns Chrome trace-event JSON that
+    opens directly in Perfetto / ``chrome://tracing``;
+    ``?format=summary`` returns one JSON row per trace (id, duration,
+    mode, span count). ``&limit=N`` (1–1000, default 50),
+    ``&min_ms=T`` and ``&errors=1`` filter.
+``GET /slo``
+    Evaluate every service-level objective now: per-objective
+    multi-window burn rates, remaining error budget and breach
+    verdicts, plus a top-level ``breached`` flag (what
+    ``repro slo status`` exits nonzero on).
 ``POST /query``
     Body ``{"u": 1, "v": 2, "mode": "distance"}`` for one query, or
     ``{"pairs": [[1, 2], [3, 4]], "mode": "spg"}`` for a burst.
@@ -79,6 +91,86 @@ __all__ = ["ServingHTTPServer", "make_server", "render_value"]
 
 #: Largest accepted request body, in bytes (a burst of ~100k pairs).
 _MAX_BODY = 4 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Shared query-parameter parsing
+# ----------------------------------------------------------------------
+
+def _bool_param(raw: str) -> bool:
+    return raw.lower() not in ("", "0", "false", "no")
+
+
+class _Param:
+    """Declarative spec for one query parameter.
+
+    ``cast`` converts the raw string; ``lo``/``hi`` bound numeric
+    values (inclusive unless ``lo_open``); ``choices`` whitelists
+    enums. Every endpoint parses through :func:`_parse_params`, so
+    every malformed parameter produces the same 400 JSON payload
+    (``{"error": "bad request: ..."}``) instead of whatever a
+    hand-rolled copy happened to say.
+    """
+
+    __slots__ = ("name", "cast", "default", "lo", "hi", "lo_open",
+                 "choices")
+
+    def __init__(self, name, cast, default, lo=None, hi=None,
+                 lo_open=False, choices=None):
+        self.name = name
+        self.cast = cast
+        self.default = default
+        self.lo = lo
+        self.hi = hi
+        self.lo_open = lo_open
+        self.choices = choices
+
+
+class _ParamError(ValueError):
+    """A query parameter failed validation (mapped to 400)."""
+
+
+def _parse_params(params: Dict[str, List[str]],
+                  spec: List[_Param]) -> Dict[str, Any]:
+    """Parse/validate query params against a spec (see :class:`_Param`).
+
+    Unknown parameters are ignored (standard HTTP behaviour); missing
+    ones take their default. All failures raise :class:`_ParamError`
+    with a message naming the parameter and its accepted range.
+    """
+    out: Dict[str, Any] = {}
+    for param in spec:
+        raw_values = params.get(param.name)
+        if not raw_values:
+            out[param.name] = param.default
+            continue
+        raw = raw_values[0]
+        try:
+            value = param.cast(raw)
+        except (ValueError, TypeError):
+            kind = {int: "an integer", float: "a number"}.get(
+                param.cast, "valid")
+            raise _ParamError(
+                f"'{param.name}' must be {kind}, got {raw!r}"
+            ) from None
+        if param.choices is not None and value not in param.choices:
+            raise _ParamError(
+                f"'{param.name}' must be one of "
+                f"{'/'.join(map(str, param.choices))}, got {raw!r}")
+        too_low = param.lo is not None and (
+            value <= param.lo if param.lo_open else value < param.lo)
+        too_high = param.hi is not None and value > param.hi
+        if too_low or too_high:
+            left = "(" if param.lo_open else "["
+            lo = param.lo if param.lo is not None else 0
+            if param.hi is not None:
+                accepted = f"in {left}{lo:g}, {param.hi:g}]"
+            else:
+                accepted = f"{'>' if param.lo_open else '>='} {lo:g}"
+            raise _ParamError(f"'{param.name}' must be {accepted}, "
+                              f"got {raw!r}")
+        out[param.name] = value
+    return out
 
 
 def render_value(value: Any) -> Any:
@@ -153,43 +245,45 @@ class _Handler(BaseHTTPRequestHandler):
         elif parts.path == "/trace":
             self._reply(200, {"rate": service.trace_rate})
         elif parts.path == "/profile":
-            self._do_profile(parse_qs(parts.query))
+            self._get(self._do_profile, parts.query)
+        elif parts.path == "/traces":
+            self._get(self._do_traces, parts.query)
+        elif parts.path == "/slo":
+            self._get(self._do_slo, parts.query)
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def _get(self, route, query: str) -> None:
+        """Run a GET route with the shared param-error mapping."""
+        try:
+            route(parse_qs(query))
+        except _ParamError as exc:
+            self._reply(400, {"error": f"bad request: {exc}"})
+        except ReproError as exc:
+            self._reply(500, {"error": str(exc)})
 
     #: Longest accepted ``/profile`` window — the handler thread
     #: blocks for the duration, so cap it well under any sane LB
     #: timeout.
     _MAX_PROFILE_SECONDS = 120.0
 
+    _PROFILE_PARAMS = [
+        _Param("seconds", float, 2.0, lo=0.0, lo_open=True,
+               hi=_MAX_PROFILE_SECONDS),
+        _Param("hz", float, DEFAULT_HZ, lo=0.0, lo_open=True, hi=1000),
+        _Param("workers", _bool_param, False),
+        _Param("format", str, "folded", choices=("folded", "json")),
+    ]
+
     def _do_profile(self, params: Dict[str, List[str]]) -> None:
-        try:
-            seconds = float(params.get("seconds", ["2"])[0])
-            hz = float(params.get("hz", [str(DEFAULT_HZ)])[0])
-        except ValueError:
-            self._reply(400, {"error": "bad request: 'seconds' and "
-                                       "'hz' must be numbers"})
-            return
-        if not 0 < seconds <= self._MAX_PROFILE_SECONDS:
-            self._reply(400, {
-                "error": f"bad request: 'seconds' must be in "
-                         f"(0, {self._MAX_PROFILE_SECONDS:.0f}]"})
-            return
-        if not 0 < hz <= 1000:
-            self._reply(400, {"error": "bad request: 'hz' must be in "
-                                       "(0, 1000]"})
-            return
-        workers = params.get("workers", ["0"])[0].lower() \
-            not in ("", "0", "false", "no")
-        try:
-            counts = self.server.service.profile(seconds, hz,
-                                                 workers=workers)
-        except ReproError as exc:
-            self._reply(500, {"error": str(exc)})
-            return
-        if params.get("format", ["folded"])[0] == "json":
+        parsed = _parse_params(params, self._PROFILE_PARAMS)
+        counts = self.server.service.profile(
+            parsed["seconds"], parsed["hz"],
+            workers=parsed["workers"])
+        if parsed["format"] == "json":
             self._reply(200, {
-                "seconds": seconds, "hz": hz, "workers": workers,
+                "seconds": parsed["seconds"], "hz": parsed["hz"],
+                "workers": parsed["workers"],
                 "samples": sum(counts.values()),
                 "folded": counts,
                 "top": top_frames(counts, 10),
@@ -197,6 +291,40 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply_text(200, render_folded(counts),
                              "text/plain; charset=utf-8")
+
+    _TRACES_PARAMS = [
+        _Param("limit", int, 50, lo=1, hi=1000),
+        _Param("min_ms", float, 0.0, lo=0.0),
+        _Param("errors", _bool_param, False),
+        _Param("format", str, "chrome", choices=("chrome", "summary")),
+    ]
+
+    def _do_traces(self, params: Dict[str, List[str]]) -> None:
+        parsed = _parse_params(params, self._TRACES_PARAMS)
+        service = self.server.service
+        if parsed["format"] == "chrome":
+            self._reply(200, service.traces_chrome(
+                limit=parsed["limit"], min_ms=parsed["min_ms"],
+                errors_only=parsed["errors"]))
+            return
+        traces = service.traces(
+            limit=parsed["limit"], min_ms=parsed["min_ms"],
+            errors_only=parsed["errors"])
+        self._reply(200, {
+            "buffer": service.trace_buffer_stats(),
+            "traces": [{
+                "trace_id": trace.trace_id,
+                "ts": trace.ts,
+                "duration_ms": trace.duration_ms,
+                "error": trace.error,
+                "mode": trace.mode,
+                "pairs": trace.pairs,
+                "spans": len(trace.spans),
+            } for trace in traces],
+        })
+
+    def _do_slo(self, params: Dict[str, List[str]]) -> None:
+        self._reply(200, self.server.service.slo_status())
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/query":

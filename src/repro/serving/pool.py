@@ -39,8 +39,9 @@ from typing import List, NamedTuple, Optional, Tuple
 from .._util import Stopwatch
 from ..engine.session import QueryOptions, QuerySession
 from ..errors import ReproError, ServingError, VertexError
-from ..obs import get_registry, start_trace
+from ..obs import get_registry
 from ..obs.profiler import SamplingProfiler, merge_folded
+from ..obs.traces import TraceContext, span_records, trace_from_context
 from ..obs.resources import resource_snapshot
 from .snapshot import SnapshotHandle, materialize_snapshot
 
@@ -66,10 +67,13 @@ class BatchMessage(NamedTuple):
     handle: SnapshotHandle
     mode: Optional[str]
     pairs: Tuple[Tuple[int, int], ...]
-    #: Answer this batch under a trace: its per-stage spans feed the
-    #: worker's ``stage_seconds`` histograms, which ride back to the
-    #: parent registry in the response's ``metrics`` deltas.
-    trace: bool = False
+    #: Distributed-trace context (trace id, batcher-side parent span
+    #: id, sampling decision), or ``None`` for the untraced fast path.
+    #: A traced batch runs under the shipped context, so its per-stage
+    #: spans feed the worker's ``stage_seconds`` histograms *and* ride
+    #: home as flat span records in :attr:`BatchResponse.spans` for
+    #: the batcher to stitch into one cross-process tree.
+    trace: Optional[TraceContext] = None
     #: Continuous-profiling activation flag: ``> 0`` keeps a
     #: :class:`~repro.obs.profiler.SamplingProfiler` running in the
     #: worker at this rate (started/retuned on the message that flips
@@ -105,6 +109,11 @@ class BatchResponse(NamedTuple):
     #: the worker process, rate-limited to ~1/s; the batcher keeps the
     #: newest per worker. ``None`` between refreshes.
     resources: Optional[dict] = None
+    #: Flat span records (:func:`repro.obs.traces.span_records`) from
+    #: answering this batch under a shipped trace context — present on
+    #: error responses too, so failed batches still produce stitched
+    #: traces for the buffer's tail retention. ``None`` untraced.
+    spans: Optional[List[dict]] = None
 
 
 class PairError(NamedTuple):
@@ -251,6 +260,7 @@ def _worker_main(worker_id: int, requests, responses,
         if now - resources_at >= _RESOURCE_INTERVAL:
             resources_at = now
             resources = resource_snapshot()
+        root_span = None
         with Stopwatch() as sw:
             try:
                 if handle.epoch != epoch:
@@ -260,10 +270,14 @@ def _worker_main(worker_id: int, requests, responses,
                 hits_before = session.cache_hits_total
                 effective = (mode if mode is not None
                              else options.mode)
-                if trace:
-                    with start_trace("serving.batch",
-                                     batch=batch_id,
-                                     pairs=len(pairs)):
+                if trace is not None:
+                    # The shipped context makes this root a child of
+                    # the batcher-side envelope span; __exit__ runs on
+                    # exceptions too, so error responses still carry a
+                    # finished span tree.
+                    with trace_from_context(
+                            trace, "serving.batch", batch=batch_id,
+                            pairs=len(pairs)) as root_span:
                         values = _answer_batch(session, pairs, mode,
                                                effective)
                 else:
@@ -274,7 +288,9 @@ def _worker_main(worker_id: int, requests, responses,
                     batch_id, handle.epoch, worker_id, None,
                     f"{type(exc).__name__}: {exc}", sw.elapsed, 0,
                     None, registry.flush_deltas() or None,
-                    profile.flush(), resources))
+                    profile.flush(), resources,
+                    span_records(root_span,
+                                 process=f"worker-{worker_id}")))
                 continue
         store_stats = getattr(index, "store_stats", None)
         responses.put(BatchResponse(
@@ -282,7 +298,8 @@ def _worker_main(worker_id: int, requests, responses,
             session.cache_hits_total - hits_before,
             store_stats() if store_stats is not None else None,
             registry.flush_deltas() or None,
-            profile.flush(), resources))
+            profile.flush(), resources,
+            span_records(root_span, process=f"worker-{worker_id}")))
 
 
 class WorkerPool:

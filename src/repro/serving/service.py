@@ -47,9 +47,12 @@ from ..errors import (
     VertexError,
 )
 from ..obs import get_registry
+from ..obs.audit import OracleAuditor
 from ..obs.profiler import DEFAULT_HZ, collect_profile
 from ..obs.registry import format_sample
 from ..obs.resources import resource_snapshot
+from ..obs.slo import SloEngine, parse_slo_config
+from ..obs.traces import chrome_trace
 from .batcher import Answer, Batcher
 from .pool import WorkerPool
 from .snapshot import Snapshot, SnapshotManager
@@ -68,7 +71,9 @@ class QueryService:
                  snapshot_keep: int = 2,
                  max_batch: int = 256,
                  max_delay: float = 0.002,
-                 max_pending: int = 10_000) -> None:
+                 max_pending: int = 10_000,
+                 audit_rate: float = 0.0,
+                 slo_config: Optional[list] = None) -> None:
         self._source = index
         self._options = options if options is not None else QueryOptions()
         self._update_lock = threading.Lock()
@@ -77,6 +82,7 @@ class QueryService:
                                           keep=snapshot_keep)
         self._pool: Optional[WorkerPool] = None
         self._batcher: Optional[Batcher] = None
+        self._auditor: Optional[OracleAuditor] = None
         self._closed = False
         try:
             snapshot = self._snapshots.publish()
@@ -97,6 +103,18 @@ class QueryService:
                 # time; the batcher's complement logs end-to-end
                 # latency with the queue-wait breakdown.
                 slow_query_ms=self._options.slow_query_ms)
+            # SLO engine: objectives score registry series, with the
+            # snapshot manager wired in as the staleness provider.
+            objectives = (parse_slo_config(slo_config)
+                          if slo_config is not None else None)
+            self._slo = SloEngine(objectives)
+            self._slo.register_provider(
+                "snapshot_staleness_seconds",
+                self._snapshots.staleness_seconds)
+            if audit_rate > 0.0:
+                self._auditor = OracleAuditor(
+                    self._snapshots.graph_at, rate=audit_rate)
+                self._batcher.set_answer_hook(self._auditor.offer)
         except BaseException:
             self.close()
             raise
@@ -284,6 +302,9 @@ class QueryService:
         self._check_open()
         batcher_stats = self._batcher.stats()
         current = self._snapshots.current
+        # Refresh the slo_* gauges before rendering, so every scrape
+        # carries current burn rates without a separate evaluator loop.
+        self._slo.evaluate()
         lines = [get_registry().render_prometheus().rstrip("\n")]
 
         def _gauge(name: str, value: float) -> None:
@@ -337,11 +358,58 @@ class QueryService:
 
         A sampled batch runs under a ``serving.batch`` trace in its
         worker and its per-stage timings come back through the metrics
-        deltas as ``stage_seconds{stage=...}`` observations.
+        deltas as ``stage_seconds{stage=...}`` observations — and its
+        stitched cross-process trace lands in the trace buffer.
         """
         self._check_open()
         self._batcher.trace_sampler.set_rate(rate)
         return self.trace_rate
+
+    # ------------------------------------------------------------------
+    # Distributed traces, SLOs, auditing
+    # ------------------------------------------------------------------
+
+    def traces(self, *, limit: Optional[int] = 50,
+               min_ms: float = 0.0, errors_only: bool = False):
+        """Newest-first stitched traces from the batcher's buffer."""
+        self._check_open()
+        return self._batcher.trace_buffer.traces(
+            limit=limit, min_ms=min_ms, errors_only=errors_only)
+
+    def traces_chrome(self, *, limit: Optional[int] = 50,
+                      min_ms: float = 0.0,
+                      errors_only: bool = False) -> dict:
+        """Buffered traces as a Chrome trace-event JSON object (opens
+        in Perfetto / ``chrome://tracing``)."""
+        return chrome_trace(self.traces(
+            limit=limit, min_ms=min_ms, errors_only=errors_only))
+
+    def trace_buffer_stats(self) -> Dict[str, object]:
+        self._check_open()
+        return self._batcher.trace_buffer.stats()
+
+    def slo_status(self) -> Dict[str, object]:
+        """Evaluate every objective now (``GET /slo`` payload).
+
+        Also refreshes the ``slo_burn_rate`` / ``slo_budget_remaining``
+        gauges, so a scrape right after sees the same numbers.
+        """
+        self._check_open()
+        return self._slo.evaluate()
+
+    @property
+    def slo_engine(self) -> SloEngine:
+        return self._slo
+
+    @property
+    def auditor(self) -> Optional[OracleAuditor]:
+        """The oracle auditor, or ``None`` when ``audit_rate`` is 0."""
+        return self._auditor
+
+    def audit_stats(self) -> Optional[Dict[str, object]]:
+        self._check_open()
+        return (self._auditor.stats()
+                if self._auditor is not None else None)
 
     # ------------------------------------------------------------------
     # Profiling
@@ -441,6 +509,8 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._auditor is not None:
+            self._auditor.close()
         if self._batcher is not None:
             self._batcher.close()
         if self._pool is not None:

@@ -51,6 +51,7 @@ from __future__ import annotations
 import json
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, NamedTuple, Optional
@@ -312,6 +313,9 @@ class SnapshotManager:
         self._current: Optional[Snapshot] = None
         self._next_epoch = 0
         self._closed = False
+        #: ``time.monotonic()`` of the latest publish — feeds
+        #: :meth:`staleness_seconds` (the staleness SLO's provider).
+        self._published_mono: Optional[float] = None
 
     # -- publishing -----------------------------------------------------
 
@@ -337,6 +341,7 @@ class SnapshotManager:
                 self._snapshots[epoch] = snapshot
                 self._current = snapshot
                 self._retire_locked()
+            self._published_mono = time.monotonic()
             return snapshot
 
     def publish_if_changed(self) -> Optional[Snapshot]:
@@ -427,6 +432,23 @@ class SnapshotManager:
         # mutates the dict, and sorted() over a mutating dict raises.
         with self._lock:
             return sorted(self._snapshots)
+
+    def staleness_seconds(self) -> float:
+        """How long the published snapshot has lagged the source.
+
+        ``0.0`` while the current epoch reflects the source's version
+        (the steady state — an old-but-current snapshot is not stale);
+        otherwise, seconds since the last publish. The staleness SLO
+        reads this through a provider.
+        """
+        current = self._current
+        if current is None:
+            return 0.0
+        if current.handle.version == self._source.version:
+            return 0.0
+        if self._published_mono is None:  # pragma: no cover
+            return 0.0
+        return time.monotonic() - self._published_mono
 
     # -- retirement -----------------------------------------------------
 
