@@ -25,7 +25,10 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from .._util import TimeBudget
+from ..core.build_kernels import (ParentsView, RaggedView,
+                                  build_sound_labels)
 from ..core.spg import ShortestPathGraph
+from ..errors import IndexBuildError
 from ..graph.csr import Graph
 
 __all__ = ["ParentPPLIndex"]
@@ -86,7 +89,9 @@ class ParentPPLIndex:
 
     @classmethod
     def build(cls, graph: Graph,
-              budget: Optional[TimeBudget] = None) -> "ParentPPLIndex":
+              budget: Optional[TimeBudget] = None,
+              variant: str = "sound",
+              jobs: Optional[int] = None) -> "ParentPPLIndex":
         """Sound PPL labelling, additionally recording parent sets.
 
         Uses the corrected label rule of
@@ -97,12 +102,35 @@ class ParentPPLIndex:
         slower to build than PPL ("finding all parents takes more
         time", §6.2.1) and the parent sets are what roughly double its
         size (Table 3).
-        """
-        from .ppl import restricted_bfs
 
+        The default ``"sound"`` variant runs the same bit-parallel
+        batched kernel as PPL with parent collection switched on
+        (parents fall out of the previous level's full-BFS frontier,
+        no per-vertex neighbourhood rescan); ``"sound-scalar"`` keeps
+        the per-root reference loop.
+        """
+        if variant not in ("sound", "sound-scalar"):
+            raise IndexBuildError(
+                f"unknown ParentPPL variant {variant!r}")
         n = graph.num_vertices
         degrees = graph.degree()
         order = np.argsort(-degrees, kind="stable").astype(np.int64)
+
+        if variant == "sound":
+            flat = build_sound_labels(graph, order, jobs=jobs,
+                                      budget=budget, with_parents=True)
+            offsets = flat["label_offsets"]
+            index = cls(
+                graph, order,
+                RaggedView(offsets, flat["label_ranks"]),
+                RaggedView(offsets, flat["label_dists"]),
+                ParentsView(offsets, flat["parent_offsets"],
+                            flat["parents"]))
+            index._flat_labels = flat
+            return index
+
+        from .ppl import restricted_bfs
+
         rank_of = np.empty(n, dtype=np.int64)
         rank_of[order] = np.arange(n)
 

@@ -39,12 +39,13 @@ lose to QbS by orders of magnitude at scale.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .._util import UNREACHED, TimeBudget
+from ..core.build_kernels import (RaggedView, build_sound_labels,
+                                  restricted_distances)
 from ..core.spg import ShortestPathGraph
 from ..errors import IndexBuildError
 from ..graph.csr import Graph
@@ -71,28 +72,14 @@ def restricted_bfs(graph: Graph, root: int, rank_of: np.ndarray,
     with a larger rank number) are expanded. The result is, for every
     ``u``, the length of the shortest ``root``-``u`` path whose interior
     vertices are all outranked by the root — or ``UNREACHED``.
+
+    This is the rank instantiation of the shared prune primitive
+    :func:`~repro.core.build_kernels.restricted_distances`; the QbS
+    labelling instantiates the same primitive with the landmark-
+    avoiding allowed set, so the two constructions can no longer drift.
     """
-    n = graph.num_vertices
-    if out is None:
-        dist = np.full(n, UNREACHED, dtype=np.int32)
-    else:
-        dist = out
-        dist.fill(UNREACHED)
-    dist[root] = 0
-    frontier = np.array([root], dtype=np.int32)
-    depth = 0
-    indptr, indices = graph.indptr, graph.indices
-    while len(frontier):
-        depth += 1
-        neighbors = expand_frontier(indptr, indices, frontier)
-        fresh = neighbors[dist[neighbors] == UNREACHED]
-        if len(fresh) == 0:
-            break
-        fresh = np.unique(fresh)
-        dist[fresh] = depth
-        # Only lower-ranked vertices may act as interiors.
-        frontier = fresh[rank_of[fresh] > root_rank]
-    return dist
+    return restricted_distances(graph.indptr, graph.indices, root,
+                                rank_of > root_rank, out=out)
 
 
 class PPLIndex:
@@ -125,30 +112,54 @@ class PPLIndex:
 
     @classmethod
     def build(cls, graph: Graph, budget: Optional[TimeBudget] = None,
-              variant: str = "sound") -> "PPLIndex":
+              variant: str = "sound",
+              jobs: Optional[int] = None) -> "PPLIndex":
         """Build labels from every vertex in degree-descending order.
 
         ``budget`` emulates the paper's 24-hour wall: construction
         aborts with :class:`~repro.errors.BudgetExceededError` when
         exceeded, which the harness reports as DNF.
+
+        The default ``"sound"`` variant runs the bit-parallel batched
+        kernel of :mod:`repro.core.build_kernels` (64 roots per pass;
+        ``jobs`` fans root batches out over a process pool) and stores
+        the labels as flat CSR arrays behind
+        :class:`~repro.core.build_kernels.RaggedView` rows.
+        ``"sound-scalar"`` keeps the per-root reference loop the kernel
+        is validated against; ``"paper"`` is Algorithm 1 verbatim.
         """
-        if variant not in ("sound", "paper"):
+        if variant not in ("sound", "sound-scalar", "paper"):
             raise IndexBuildError(f"unknown PPL variant {variant!r}")
         n = graph.num_vertices
         degrees = graph.degree()
         order = np.argsort(-degrees, kind="stable").astype(np.int64)
 
+        if variant == "sound":
+            flat = build_sound_labels(graph, order, jobs=jobs,
+                                      budget=budget)
+            offsets = flat["label_offsets"]
+            index = cls(graph, order,
+                        RaggedView(offsets, flat["label_ranks"]),
+                        RaggedView(offsets, flat["label_dists"]))
+            index._flat_labels = flat
+            return index
+
         label_ranks: List[List[int]] = [[] for _ in range(n)]
         label_dists: List[List[int]] = [[] for _ in range(n)]
         index = cls(graph, order, label_ranks, label_dists)
-        if variant == "sound":
-            index._build_sound(budget)
+        if variant == "sound-scalar":
+            index._build_sound_scalar(budget)
         else:
             index._build_paper(budget)
         return index
 
-    def _build_sound(self, budget: Optional[TimeBudget]) -> None:
-        """Corrected construction: full + rank-restricted BFS pairs."""
+    def _build_sound_scalar(self, budget: Optional[TimeBudget]) -> None:
+        """Reference sound construction: full + restricted BFS pairs.
+
+        One root at a time; kept as the oracle the batched kernel is
+        compared against entry-for-entry (and for the sampled scalar
+        timings in ``benchmarks/test_build.py``).
+        """
         graph = self._graph
         n = graph.num_vertices
         order = self._order
@@ -173,38 +184,81 @@ class PPLIndex:
         """Algorithm 1 verbatim (known-unsound; see module docstring)."""
         n = self._graph.num_vertices
         depth = np.full(n, -1, dtype=np.int32)
+        covered_by_rank = np.full(n, INF, dtype=np.float64)
         for rank in range(n):
             if budget is not None and rank % 16 == 0:
                 budget.check()
-            self._paper_pruned_bfs(rank, depth)
+            self._paper_pruned_bfs(rank, depth, covered_by_rank)
 
-    def _paper_pruned_bfs(self, rank: int, depth: np.ndarray) -> None:
-        """One pruned BFS from the rank-th landmark (Algorithm 1)."""
+    def _paper_pruned_bfs(self, rank: int, depth: np.ndarray,
+                          covered_by_rank: np.ndarray) -> None:
+        """One pruned BFS from the rank-th landmark (Algorithm 1).
+
+        Frontier-at-a-time: each BFS level is expanded with one CSR
+        gather, and the covered test (lines 6-10) for the whole level
+        is a single vectorized label merge. ``covered_by_rank`` is a
+        persistent dense scratch holding ``L(root)`` scattered by rank
+        (``inf`` elsewhere), so ``covered(u)`` reduces to
+        ``min(covered_by_rank[ranks_u] + dists_u)`` — the same
+        merge-join minimum the per-vertex loop computed, because ranks
+        absent from ``L(root)`` contribute ``inf``. Algorithm 1 visits
+        the queue in BFS order and only ever mutates ``L(root)`` at
+        depth 0 (the root is alone on its level), so whole-level
+        evaluation matches the verbatim per-vertex order.
+        """
         graph = self._graph
+        indptr, indices = graph.indptr, graph.indices
         root = int(self._order[rank])
         depth.fill(-1)
         depth[root] = 0
-        queue = deque([root])
         root_ranks = self._label_ranks[root]
-        root_dists = self._label_dists[root]
-        while queue:
-            u = queue.popleft()
-            d = int(depth[u])
-            covered = self._query_distance_lists(
-                root_ranks, root_dists,
-                self._label_ranks[u], self._label_dists[u],
-            )
-            if covered < d:
-                continue  # lines 6-7: fully covered, prune subtree
-            self._label_ranks[u].append(rank)
-            self._label_dists[u].append(d)
-            if covered == d and u != root:
-                continue  # lines 9-10: label kept, expansion pruned
-            for v in graph.neighbors(u):
-                v = int(v)
-                if depth[v] < 0:
-                    depth[v] = d + 1
-                    queue.append(v)
+        scattered = np.asarray(root_ranks, dtype=np.int64)
+        covered_by_rank[scattered] = self._label_dists[root]
+        frontier = np.array([root], dtype=np.int64)
+        d = 0
+        while len(frontier):
+            covered = self._covered_minimum(frontier, covered_by_rank)
+            labelled = covered >= d
+            for u in frontier[labelled].tolist():
+                self._label_ranks[u].append(rank)
+                self._label_dists[u].append(d)
+            if d == 0:
+                # The root's own entry (rank, 0) just joined L(root).
+                covered_by_rank[rank] = 0
+            # Lines 9-10: covered == d keeps the label but prunes the
+            # expansion; the root always expands.
+            expandable = frontier[(covered > d) | (frontier == root)]
+            neighbors = expand_frontier(indptr, indices,
+                                        expandable.astype(np.int32))
+            fresh = neighbors[depth[neighbors] < 0]
+            fresh = np.unique(fresh)
+            depth[fresh] = d + 1
+            frontier = fresh.astype(np.int64)
+            d += 1
+        covered_by_rank[scattered] = INF
+        covered_by_rank[rank] = INF
+
+    def _covered_minimum(self, frontier: np.ndarray,
+                         covered_by_rank: np.ndarray) -> np.ndarray:
+        """``query(root, u)`` for a whole frontier in one reduction."""
+        rows = [self._label_ranks[int(u)] for u in frontier]
+        counts = np.fromiter((len(r) for r in rows), dtype=np.int64,
+                             count=len(rows))
+        covered = np.full(len(frontier), INF, dtype=np.float64)
+        total = int(counts.sum())
+        if total == 0:
+            return covered
+        flat_ranks = np.concatenate(
+            [np.asarray(r, dtype=np.int64) for r in rows if len(r)])
+        flat_dists = np.concatenate(
+            [np.asarray(self._label_dists[int(u)], dtype=np.float64)
+             for u, r in zip(frontier, rows) if len(r)])
+        values = covered_by_rank[flat_ranks] + flat_dists
+        nonempty = counts > 0
+        offsets = np.concatenate((np.zeros(1, dtype=np.int64),
+                                  np.cumsum(counts)[:-1]))
+        covered[nonempty] = np.minimum.reduceat(values, offsets[nonempty])
+        return covered
 
     @staticmethod
     def _query_distance_lists(ranks_a: Sequence[int],

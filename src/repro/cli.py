@@ -116,6 +116,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Set
@@ -196,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
     build_cmd.add_argument("--partition-file", default=None,
                            help="partition map from the partition "
                                 "command (sharded method only)")
+    build_cmd.add_argument("--jobs", type=int, default=None,
+                           metavar="N",
+                           help="worker processes for the label "
+                                "families' root-batch loop (ppl, "
+                                "parent-ppl, dynamic; default: all "
+                                "cores); sharded builds pass it to "
+                                "the shard pool's inner builds")
 
     query_cmd = commands.add_parser(
         "query", help="load a saved index and answer a query batch")
@@ -635,6 +643,19 @@ def _run_build(args) -> int:
     graph = load_dataset(args.dataset)
     params = _parse_params(args.param)
     sharded = args.method == "sharded"
+    jobs_methods = {"ppl", "parent-ppl", "dynamic"}
+    if args.jobs is not None:
+        if args.jobs < 1:
+            raise ReproError("--jobs must be >= 1")
+        if not (sharded or args.method in jobs_methods):
+            raise ReproError(
+                "--jobs only applies to the label families "
+                "(ppl, parent-ppl, dynamic) and sharded builds")
+        params.setdefault("jobs", args.jobs)
+    elif args.method in jobs_methods:
+        # Root batches are embarrassingly parallel; use the box unless
+        # told otherwise (--param jobs=N still wins).
+        params.setdefault("jobs", os.cpu_count() or 1)
     if args.shards is not None and args.partition_file is not None:
         raise ReproError("give --shards or --partition-file, not both")
     if args.shards is not None:

@@ -31,8 +31,8 @@ import numpy as np
 from .._util import NO_LABEL, Stopwatch
 from ..errors import IndexBuildError
 from ..graph.csr import Graph
-from ..graph.traversal import expand_frontier
 from ..obs import get_registry, span
+from .build_kernels import BATCH_BITS, _expand_bits, qbs_batch_levels
 
 __all__ = ["PathLabelling", "build_labelling", "label_bfs"]
 
@@ -110,6 +110,13 @@ class PathLabelling:
         return self.num_vertices * self.num_landmarks
 
 
+def _depth_limit_error(roots) -> str:
+    head = ", ".join(str(int(r)) for r in np.asarray(roots)[:3])
+    return (f"BFS from landmark(s) {head} exceeded the uint8 label "
+            f"distance limit ({MAX_LABEL_DISTANCE}); the paper's "
+            f"8-bit-per-label cost model assumes small-diameter graphs")
+
+
 def label_bfs(graph: Graph, root: int, is_landmark: np.ndarray,
               label_column: np.ndarray) -> List[Tuple[int, int]]:
     """One labelled BFS from landmark ``root`` (Algorithm 2 body).
@@ -118,57 +125,38 @@ def label_bfs(graph: Graph, root: int, is_landmark: np.ndarray,
     distances of vertices that receive the label ``(root, .)``, and
     returns the discovered meta edges as ``[(landmark_vertex, weight)]``.
 
-    The two frontiers are expanded level-synchronously with the
-    ``Q_L``-before-``Q_N`` order of Algorithm 2 (lines 8-21): a vertex
-    reachable at the same depth from both queues is labelled, because
-    some shortest path to it avoids other landmarks.
+    The ``Q_L``/``Q_N`` split of Algorithm 2 (lines 8-21) is exactly
+    the shared prune rule of :mod:`repro.core.build_kernels`: a vertex
+    is labelled iff its BFS distance restricted to landmark-free
+    interiors equals its true distance, so this is a one-root
+    instantiation of the same lockstep kernel the batched builder and
+    PPL use — the two constructions can no longer drift.
     """
-    indptr, indices = graph.indptr, graph.indices
-    visited = np.zeros(graph.num_vertices, dtype=bool)
-    visited[root] = True
-    frontier_labelled = np.array([root], dtype=np.int32)
-    frontier_silent = np.empty(0, dtype=np.int32)
+    degrees = np.diff(graph.indptr).astype(np.int64)
+    roots = np.array([root], dtype=np.int64)
     meta_edges: List[Tuple[int, int]] = []
-    depth = 0
-
-    while len(frontier_labelled) or len(frontier_silent):
-        depth += 1
-        if depth > MAX_LABEL_DISTANCE:
-            raise IndexBuildError(
-                f"BFS from landmark {root} exceeded the uint8 label "
-                f"distance limit ({MAX_LABEL_DISTANCE}); the paper's "
-                f"8-bit-per-label cost model assumes small-diameter graphs"
-            )
-        # Lines 8-17: expand the labelled queue first. Anything fresh
-        # it reaches has a shortest path from `root` avoiding other
-        # landmarks (through labelled vertices only).
-        neighbors = expand_frontier(indptr, indices, frontier_labelled)
-        fresh = neighbors[~visited[neighbors]]
-        fresh = np.unique(fresh)
-        visited[fresh] = True
-        landmark_hits = fresh[is_landmark[fresh]]
-        labelled_next = fresh[~is_landmark[fresh]]
-        label_column[labelled_next] = depth
-        for hit in landmark_hits:
+    for depth, vertices, _bits in qbs_batch_levels(
+            graph.indptr, graph.indices, degrees, roots, is_landmark,
+            max_depth=MAX_LABEL_DISTANCE,
+            max_depth_error=_depth_limit_error(roots)):
+        if depth == 0:
+            continue
+        hits = vertices[is_landmark[vertices]]
+        label_column[vertices[~is_landmark[vertices]]] = depth
+        for hit in hits:
             meta_edges.append((int(hit), depth))
-        # Lines 18-21: expand the silent queue. Fresh vertices here are
-        # reachable only through other landmarks — traversed, no label.
-        neighbors = expand_frontier(indptr, indices, frontier_silent)
-        silent_fresh = neighbors[~visited[neighbors]]
-        silent_fresh = np.unique(silent_fresh)
-        visited[silent_fresh] = True
-        frontier_labelled = labelled_next
-        # Landmarks always continue silently, as do silent discoveries.
-        frontier_silent = np.concatenate((landmark_hits, silent_fresh))
     return meta_edges
 
 
 def build_labelling(graph: Graph, landmarks: np.ndarray) -> PathLabelling:
     """Sequential labelling construction (the paper's QbS variant).
 
-    Runs :func:`label_bfs` for every landmark in order; because the
-    scheme is deterministic w.r.t. the landmark *set* (Lemma 5.2), the
-    order only affects column layout, not content.
+    Sweeps the landmarks 64 at a time through the bit-parallel lockstep
+    kernel (one uint64 lane per root); because the scheme is
+    deterministic w.r.t. the landmark *set* (Lemma 5.2), the order only
+    affects column layout, not content — which is also why the batched
+    sweep and the per-root :func:`label_bfs` (same kernel, one lane)
+    produce identical matrices.
     """
     landmarks = np.asarray(landmarks, dtype=np.int32)
     n = graph.num_vertices
@@ -185,18 +173,45 @@ def build_labelling(graph: Graph, landmarks: np.ndarray) -> PathLabelling:
 
     label_matrix = np.full((n, len(landmarks)), NO_LABEL, dtype=np.uint8)
     meta: Dict[Tuple[int, int], int] = {}
-    root_seconds = get_registry().histogram(
+    registry = get_registry()
+    root_seconds = registry.histogram(
         "build_root_bfs_seconds",
         help="Wall time of one labelled BFS from a landmark root.")
-    with span("build.root_bfs_loop", landmarks=len(landmarks)):
-        per_root = np.empty(len(landmarks), dtype=np.float64)
-        for i, root in enumerate(landmarks):
+    roots_counter = registry.counter(
+        "build_roots_processed_total",
+        help="Landmark roots swept by the construction kernels.")
+    indptr, indices = graph.indptr, graph.indices
+    degrees = np.diff(indptr).astype(np.int64)
+    with span("build.root_bfs_loop", landmarks=len(landmarks),
+              batch_bits=BATCH_BITS):
+        for start in range(0, len(landmarks), BATCH_BITS):
+            chunk = landmarks[start:start + BATCH_BITS]
+            hits_by_slot: List[List[Tuple[int, int]]] = [
+                [] for _ in range(len(chunk))]
             with Stopwatch() as sw:
-                hits = label_bfs(graph, int(root), is_landmark,
-                                 label_matrix[:, i])
-                _merge_meta_edges(meta, position, int(root), hits)
-            per_root[i] = sw.elapsed
-        root_seconds.observe_many(per_root)
+                for depth, vertices, bits in qbs_batch_levels(
+                        indptr, indices, degrees,
+                        chunk.astype(np.int64), is_landmark,
+                        max_depth=MAX_LABEL_DISTANCE,
+                        max_depth_error=_depth_limit_error(chunk)):
+                    if depth == 0:
+                        continue
+                    rows, cols = _expand_bits(bits)
+                    labelled = vertices[rows]
+                    hit_mask = is_landmark[labelled]
+                    label_matrix[labelled[~hit_mask],
+                                 start + cols[~hit_mask]] = depth
+                    for v, slot in zip(labelled[hit_mask].tolist(),
+                                       cols[hit_mask].tolist()):
+                        hits_by_slot[slot].append((v, depth))
+            for slot, root in enumerate(chunk):
+                _merge_meta_edges(meta, position, int(root),
+                                  hits_by_slot[slot])
+            roots_counter.inc(len(chunk))
+            # One lockstep pass serves the whole batch; attribute its
+            # wall time evenly so the per-root histogram stays live.
+            root_seconds.observe_many(
+                np.full(len(chunk), sw.elapsed / len(chunk)))
     return PathLabelling(
         landmarks=landmarks,
         landmark_position=position,

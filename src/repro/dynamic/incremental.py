@@ -85,6 +85,18 @@ class MutableLabels:
         self.dists = label_dists
         self.parents = label_parents
         self.repaired_entries = 0
+        self._cov = None
+
+    def _covered_by_rank(self) -> np.ndarray:
+        """Dense ``L(root)``-by-rank scratch for the repair BFS.
+
+        Allocated once and reused across resumes; callers scatter one
+        root's label into it and must restore ``inf`` before returning.
+        """
+        if self._cov is None:
+            self._cov = np.full(len(self.rank_of), _INF,
+                                dtype=np.float64)
+        return self._cov
 
     def distance(self, u: int, v: int) -> Optional[int]:
         """Exact distance in the labels' graph (``None`` if apart)."""
@@ -142,6 +154,64 @@ def _resume_pruned_bfs(labels: MutableLabels, neighbors: NeighborFn,
     strictly beats what the current labels already answer — the
     standard prune that confines the walk to the region whose
     distances the new edge actually changed.
+
+    Frontier-at-a-time (same shape as the construction kernels): each
+    level's prune test is one vectorized label merge. ``L(root)`` is
+    scattered by rank into a persistent dense scratch, making
+    ``known(w)`` a gather-add-min over ``L(w)``'s entries; that stays
+    valid for the whole resume because the walk never relabels the
+    root itself (``known(root) = 0`` always prunes).
+    """
+    root = int(labels.order[root_rank])
+    covered_by_rank = labels._covered_by_rank()
+    scattered = np.asarray(labels.ranks[root], dtype=np.int64)
+    covered_by_rank[scattered] = labels.dists[root]
+    frontier = [int(start)]
+    depth = start_dist
+    try:
+        while frontier:
+            rows = [labels.ranks[w] for w in frontier]
+            counts = np.fromiter((len(r) for r in rows),
+                                 dtype=np.int64, count=len(rows))
+            known = np.full(len(frontier), _INF, dtype=np.float64)
+            if int(counts.sum()):
+                flat_ranks = np.concatenate(
+                    [np.asarray(r, dtype=np.int64)
+                     for r in rows if len(r)])
+                flat_dists = np.concatenate(
+                    [np.asarray(labels.dists[w], dtype=np.float64)
+                     for w, r in zip(frontier, rows) if len(r)])
+                offsets = np.concatenate(
+                    (np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
+                known[counts > 0] = np.minimum.reduceat(
+                    covered_by_rank[flat_ranks] + flat_dists,
+                    offsets[counts > 0])
+            collected: List[int] = []
+            for w, best in zip(frontier, known):
+                if w == root or best <= depth:
+                    continue
+                labels.set_entry(w, root_rank, depth)
+                for z in neighbors(w):
+                    collected.append(int(z))
+            if collected:
+                frontier = np.unique(
+                    np.asarray(collected, dtype=np.int64)).tolist()
+            else:
+                frontier = []
+            depth += 1
+    finally:
+        covered_by_rank[scattered] = _INF
+
+
+def _resume_pruned_bfs_scalar(labels: MutableLabels,
+                              neighbors: NeighborFn, root_rank: int,
+                              start: int, start_dist: int) -> None:
+    """Per-vertex reference for :func:`_resume_pruned_bfs`.
+
+    Kept for the property tests and the before/after benchmark; both
+    walks label the identical entry set (duplicates in the scalar
+    queue are pruned by the same ``known <= depth`` test that the
+    frontier version's dedup removes).
     """
     root = int(labels.order[root_rank])
     queue = deque([(start, start_dist)])

@@ -80,6 +80,31 @@ _REMOVE_KINDS = frozenset({"delete", "remove", "-"})
 _SCREEN_GRID_LIMIT = 5_000_000
 
 
+def _copied_rows(rows) -> List[List[int]]:
+    """Per-vertex rows as fresh plain-int lists (deep copy)."""
+    return [row.tolist() if hasattr(row, "tolist") else list(row)
+            for row in rows]
+
+
+def _ensure_mutable(inner) -> None:
+    """Promote ``inner``'s label containers to plain mutable lists.
+
+    The kernel-built families hold labels as flat CSR arrays behind
+    ``RaggedView`` rows; incremental repair mutates per-vertex lists in
+    place, so convert once at wrap time and drop the flat fast-path
+    state (it would go stale on the first repaired entry).
+    """
+    if not (isinstance(inner._label_ranks, list)
+            and all(isinstance(r, list) for r in inner._label_ranks)):
+        inner._label_ranks = _copied_rows(inner._label_ranks)
+        inner._label_dists = _copied_rows(inner._label_dists)
+    parents = getattr(inner, "_label_parents", None)
+    if parents is not None and not isinstance(parents, list):
+        inner._label_parents = [list(row) for row in parents]
+    inner._flat_labels = None
+    inner._label_arrays_cache = None
+
+
 @register_index("dynamic")
 class DynamicIndex(PathIndex):
     """Incrementally maintained path index over a mutable graph."""
@@ -93,6 +118,7 @@ class DynamicIndex(PathIndex):
             )
         self._inner = inner
         self._family = family
+        _ensure_mutable(inner)
         self._labels = MutableLabels(
             inner._order, inner._label_ranks, inner._label_dists,
             getattr(inner, "_label_parents", None),
@@ -163,8 +189,8 @@ class DynamicIndex(PathIndex):
                 f"DynamicIndex; build one of {DYNAMIC_FAMILIES} first"
             )
         clone_args = [index._graph, index._order.copy(),
-                      [list(x) for x in index._label_ranks],
-                      [list(x) for x in index._label_dists]]
+                      _copied_rows(index._label_ranks),
+                      _copied_rows(index._label_dists)]
         if family == "parent-ppl":
             clone_args.append([list(x) for x in index._label_parents])
         inner = type(index)(*clone_args)
@@ -262,6 +288,7 @@ class DynamicIndex(PathIndex):
         snapshot = self._delta.snapshot()
         with span("dynamic.rebuild"):
             self._inner = build_index(snapshot, self._family)
+        _ensure_mutable(self._inner)
         self._labels = MutableLabels(
             self._inner._order, self._inner._label_ranks,
             self._inner._label_dists,

@@ -237,7 +237,19 @@ def cached_label_arrays(owner, label_ranks, label_dists,
     cached = getattr(owner, "_label_arrays_cache", None)
     if cached is not None and cached[0] == version:
         return cached[1]
-    arrays = LabelArrays.from_lists(label_ranks, label_dists)
+    from ..core.build_kernels import RaggedView
+
+    if (isinstance(label_ranks, RaggedView)
+            and isinstance(label_dists, RaggedView)
+            and isinstance(label_ranks.flat, np.ndarray)
+            and isinstance(label_dists.flat, np.ndarray)):
+        # Kernel-built labels are already the flat CSR this kernel
+        # wants; skip the per-vertex materialization entirely.
+        arrays = LabelArrays.from_flat(label_ranks.offsets,
+                                       label_ranks.flat,
+                                       label_dists.flat)
+    else:
+        arrays = LabelArrays.from_lists(label_ranks, label_dists)
     owner._label_arrays_cache = (version, arrays)
     return arrays
 

@@ -33,6 +33,7 @@ from ..baselines.bibfs import BiBFS
 from ..baselines.naive import NaiveLabelling
 from ..baselines.parent_ppl import ParentPPLIndex
 from ..baselines.ppl import PPLIndex
+from ..core.build_kernels import ParentsView, RaggedView
 from ..core.labelling import PathLabelling
 from ..core.metagraph import build_meta_graph
 from ..core.qbs import BuildReport, QbSIndex
@@ -303,9 +304,17 @@ class PplPathIndex(PPLIndex, PathIndex):
         return base
 
     def to_state(self):
-        rank_offsets, flat_ranks = _flatten_ragged(self._label_ranks,
-                                                   np.int64)
-        _, flat_dists = _flatten_ragged(self._label_dists, np.int32)
+        flat = getattr(self, "_flat_labels", None)
+        if flat is not None:
+            # Kernel-built (or previously loaded) indexes already hold
+            # the flat CSR label arrays — serialize with zero copies.
+            rank_offsets = flat["label_offsets"]
+            flat_ranks = flat["label_ranks"]
+            flat_dists = flat["label_dists"]
+        else:
+            rank_offsets, flat_ranks = _flatten_ragged(self._label_ranks,
+                                                       np.int64)
+            _, flat_dists = _flatten_ragged(self._label_dists, np.int32)
         arrays = {
             **_graph_arrays(self.graph),
             "order": self._order,
@@ -318,13 +327,21 @@ class PplPathIndex(PPLIndex, PathIndex):
     @classmethod
     def from_state(cls, meta, arrays):
         graph = _graph_from_arrays(arrays)
-        offsets = arrays["label_offsets"]
-        return cls(
+        offsets = np.asarray(arrays["label_offsets"], dtype=np.int64)
+        flat_ranks = np.asarray(arrays["label_ranks"], dtype=np.int64)
+        flat_dists = np.asarray(arrays["label_dists"], dtype=np.int32)
+        index = cls(
             graph,
             arrays["order"].astype(np.int64),
-            _split_ragged(offsets, arrays["label_ranks"]),
-            _split_ragged(offsets, arrays["label_dists"]),
+            RaggedView(offsets, flat_ranks),
+            RaggedView(offsets, flat_dists),
         )
+        index._flat_labels = {
+            "label_offsets": offsets,
+            "label_ranks": flat_ranks,
+            "label_dists": flat_dists,
+        }
+        return index
 
 
 @register_index("parent-ppl")
@@ -355,13 +372,21 @@ class ParentPplPathIndex(ParentPPLIndex, PathIndex):
         return base
 
     def to_state(self):
-        rank_offsets, flat_ranks = _flatten_ragged(self._label_ranks,
-                                                   np.int64)
-        _, flat_dists = _flatten_ragged(self._label_dists, np.int32)
-        entry_parents = [parents for per_vertex in self._label_parents
-                         for parents in per_vertex]
-        parent_offsets, flat_parents = _flatten_ragged(entry_parents,
-                                                       np.int32)
+        flat = getattr(self, "_flat_labels", None)
+        if flat is not None:
+            rank_offsets = flat["label_offsets"]
+            flat_ranks = flat["label_ranks"]
+            flat_dists = flat["label_dists"]
+            parent_offsets = flat["parent_offsets"]
+            flat_parents = flat["parents"]
+        else:
+            rank_offsets, flat_ranks = _flatten_ragged(self._label_ranks,
+                                                       np.int64)
+            _, flat_dists = _flatten_ragged(self._label_dists, np.int32)
+            entry_parents = [parents for per_vertex in self._label_parents
+                             for parents in per_vertex]
+            parent_offsets, flat_parents = _flatten_ragged(entry_parents,
+                                                           np.int32)
         arrays = {
             **_graph_arrays(self.graph),
             "order": self._order,
@@ -376,21 +401,24 @@ class ParentPplPathIndex(ParentPPLIndex, PathIndex):
     @classmethod
     def from_state(cls, meta, arrays):
         graph = _graph_from_arrays(arrays)
-        offsets = arrays["label_offsets"]
-        label_ranks = _split_ragged(offsets, arrays["label_ranks"])
-        label_dists = _split_ragged(offsets, arrays["label_dists"])
-        entry_parents = _split_ragged(arrays["parent_offsets"],
-                                      arrays["parents"])
-        label_parents: List[List[Tuple[int, ...]]] = []
-        cursor = 0
-        for ranks in label_ranks:
-            label_parents.append([
-                tuple(entry_parents[cursor + k])
-                for k in range(len(ranks))
-            ])
-            cursor += len(ranks)
-        return cls(graph, arrays["order"].astype(np.int64),
-                   label_ranks, label_dists, label_parents)
+        offsets = np.asarray(arrays["label_offsets"], dtype=np.int64)
+        flat_ranks = np.asarray(arrays["label_ranks"], dtype=np.int64)
+        flat_dists = np.asarray(arrays["label_dists"], dtype=np.int32)
+        parent_offsets = np.asarray(arrays["parent_offsets"],
+                                    dtype=np.int64)
+        flat_parents = np.asarray(arrays["parents"], dtype=np.int32)
+        index = cls(graph, arrays["order"].astype(np.int64),
+                    RaggedView(offsets, flat_ranks),
+                    RaggedView(offsets, flat_dists),
+                    ParentsView(offsets, parent_offsets, flat_parents))
+        index._flat_labels = {
+            "label_offsets": offsets,
+            "label_ranks": flat_ranks,
+            "label_dists": flat_dists,
+            "parent_offsets": parent_offsets,
+            "parents": flat_parents,
+        }
+        return index
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,10 @@ class ShardBuildOutcome:
 #: One task: everything a worker needs to build one shard.
 _Task = Tuple[int, np.ndarray, np.ndarray, np.ndarray, str, dict]
 
+#: Inner methods whose ``build`` accepts the ``jobs`` root-parallelism
+#: knob of the bit-parallel label kernels.
+_JOBS_METHODS = frozenset({"ppl", "parent-ppl", "dynamic"})
+
 
 def _build_shard(task: _Task):
     """Worker body: build the inner index + boundary clique.
@@ -89,6 +93,15 @@ class ParallelBuilder:
         which the benchmark compares against ``sum(outcome.seconds)``
         (the serial cost of the same work).
         """
+        workers = min(self.num_workers, max(1, len(subgraphs)))
+        params = dict(params)
+        if workers > 1 and inner in _JOBS_METHODS \
+                and params.get("jobs") is None:
+            # The shard fan-out already owns the cores; run each
+            # worker's root-batch loop serially rather than nesting a
+            # second process pool per shard. An explicit ``jobs`` in
+            # ``params`` wins.
+            params["jobs"] = 1
         tasks: List[_Task] = [
             (shard_id, subgraph.indptr, subgraph.indices,
              np.asarray(boundary_local, dtype=np.int64), inner,
@@ -96,7 +109,6 @@ class ParallelBuilder:
             for shard_id, (subgraph, boundary_local)
             in enumerate(zip(subgraphs, boundary_locals))
         ]
-        workers = min(self.num_workers, max(1, len(tasks)))
         with Stopwatch() as wall:
             if workers == 1:
                 results = [_build_shard(task) for task in tasks]

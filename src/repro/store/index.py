@@ -25,11 +25,11 @@ blocks never evict.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..core.build_kernels import ParentsView, RaggedView
 from ..engine.batch import LabelArrays
 from ..engine.families import ParentPplPathIndex, PplPathIndex
 from ..errors import IndexFormatError
@@ -135,93 +135,13 @@ def _check_method(source, method: str) -> None:
 # ----------------------------------------------------------------------
 # Lazy label views (the scalar query path)
 # ----------------------------------------------------------------------
+# The view classes themselves live with the construction kernels (one
+# definition serves kernel-built, state-loaded, and store-backed
+# indexes); ``flat`` here is a block-cached cold array, so ``rows[v]``
+# costs one or two block faults.
 
-class _LazyRagged(Sequence):
-    """Per-vertex label rows over ``(offsets, flat)`` store arrays.
-
-    ``rows[v]`` slices the flat cold array — one or two block faults —
-    and returns a plain ndarray the merge-join query code indexes as
-    it always has. Quacks like the list-of-lists the in-RAM families
-    hold, without ever materializing it.
-    """
-
-    __slots__ = ("_offsets", "_flat")
-
-    def __init__(self, offsets: np.ndarray, flat) -> None:
-        self._offsets = offsets
-        self._flat = flat
-
-    def __len__(self) -> int:
-        return len(self._offsets) - 1
-
-    def __getitem__(self, vertex):
-        if isinstance(vertex, slice):
-            raise TypeError("lazy label rows index by vertex only")
-        vertex = int(vertex)
-        if vertex < 0:
-            vertex += len(self)
-        if not 0 <= vertex < len(self):
-            raise IndexError(vertex)
-        return self._flat[int(self._offsets[vertex]):
-                          int(self._offsets[vertex + 1])]
-
-
-class _LazyParentsRow(Sequence):
-    """One vertex's per-entry parent tuples, read on demand."""
-
-    __slots__ = ("_base", "_count", "_parent_offsets", "_parents")
-
-    def __init__(self, base: int, count: int, parent_offsets,
-                 parents) -> None:
-        self._base = base
-        self._count = count
-        self._parent_offsets = parent_offsets
-        self._parents = parents
-
-    def __len__(self) -> int:
-        return self._count
-
-    def __getitem__(self, i):
-        if isinstance(i, slice):
-            raise TypeError("parent rows index by entry only")
-        i = int(i)
-        if i < 0:
-            i += self._count
-        if not 0 <= i < self._count:
-            raise IndexError(i)
-        entry = self._base + i
-        bounds = self._parent_offsets[entry:entry + 2]
-        return tuple(
-            int(w) for w in
-            self._parents[int(bounds[0]):int(bounds[1])])
-
-
-class _LazyParents(Sequence):
-    """``label_parents[v][i]`` facade over the flat parent arrays."""
-
-    __slots__ = ("_offsets", "_parent_offsets", "_parents")
-
-    def __init__(self, offsets: np.ndarray, parent_offsets,
-                 parents) -> None:
-        self._offsets = offsets
-        self._parent_offsets = parent_offsets
-        self._parents = parents
-
-    def __len__(self) -> int:
-        return len(self._offsets) - 1
-
-    def __getitem__(self, vertex):
-        if isinstance(vertex, slice):
-            raise TypeError("lazy parents index by vertex only")
-        vertex = int(vertex)
-        if vertex < 0:
-            vertex += len(self)
-        if not 0 <= vertex < len(self):
-            raise IndexError(vertex)
-        base = int(self._offsets[vertex])
-        count = int(self._offsets[vertex + 1]) - base
-        return _LazyParentsRow(base, count, self._parent_offsets,
-                               self._parents)
+_LazyRagged = RaggedView
+_LazyParents = ParentsView
 
 
 # ----------------------------------------------------------------------
